@@ -1,0 +1,181 @@
+package peregrine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"peregrine/internal/pattern"
+)
+
+// This file implements the paper's mining applications (Figure 4) on top
+// of the pattern-first API: motif counting, clique counting, clique
+// existence, and the global-clustering-coefficient existence query.
+
+// MotifCount pairs a motif pattern with its vertex-induced match count.
+type MotifCount struct {
+	Pattern *Pattern
+	Count   uint64
+}
+
+// MotifCounts counts the vertex-induced occurrences of every connected
+// pattern with exactly size vertices (Figure 4e). Patterns are returned
+// in canonical order with their counts.
+func MotifCounts(g *Graph, size int, opts ...Option) ([]MotifCount, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("peregrine: motif size %d < 2", size)
+	}
+	motifs := pattern.GenerateAllVertexInduced(size)
+	out := make([]MotifCount, 0, len(motifs))
+	for _, m := range motifs {
+		all := append([]Option{VertexInduced()}, opts...)
+		n, err := Count(g, m, all...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MotifCount{Pattern: m, Count: n})
+	}
+	return out, nil
+}
+
+// LabeledMotifCounts counts vertex-induced occurrences of every motif of
+// the given size for every discovered labeling (the labeled 3-/4-motif
+// workloads of §6.1). Counts are keyed by the canonical code of the
+// labeled pattern; the pattern for each code is also returned.
+func LabeledMotifCounts(g *Graph, size int, opts ...Option) (map[string]MotifCount, error) {
+	if !g.Labeled() {
+		return nil, fmt.Errorf("peregrine: labeled motif counting requires a labeled graph")
+	}
+	motifs := pattern.GenerateAllVertexInduced(size)
+	type slot struct {
+		pat *Pattern
+		n   uint64
+	}
+	counts := make(map[string]*slot)
+	threads := buildConfig(opts).opts.Threads
+	if threads <= 0 {
+		threads = defaultThreads()
+	}
+	for _, m := range motifs {
+		m := m
+		vind := pattern.VertexInduced(m)
+		// Discover labels: match the unlabeled motif and bucket matches
+		// by the labels of their matched vertices, exactly like FSM's
+		// label discovery (§3.2.1). Each worker owns one bucket map;
+		// buckets merge after the run.
+		perThread := make([]map[string]*slot, threads)
+		for i := range perThread {
+			perThread[i] = make(map[string]*slot)
+		}
+		all := append([]Option{WithThreads(threads)}, opts...)
+		_, err := ForEachMatch(g, vind, func(ctx *Ctx, mt *Match) {
+			labeled := m.Clone()
+			for _, v := range m.RegularVertices() {
+				labeled.SetLabel(v, Label(g.Label(mt.Mapping[v])))
+			}
+			code := labeled.CanonicalCode()
+			bucket := perThread[ctx.Thread]
+			s, ok := bucket[code]
+			if !ok {
+				s = &slot{pat: labeled}
+				bucket[code] = s
+			}
+			s.n++
+		}, all...)
+		if err != nil {
+			return nil, err
+		}
+		for _, bucket := range perThread {
+			for code, s := range bucket {
+				if dst, ok := counts[code]; ok {
+					dst.n += s.n
+				} else {
+					counts[code] = s
+				}
+			}
+		}
+	}
+	out := make(map[string]MotifCount, len(counts))
+	for code, s := range counts {
+		out[code] = MotifCount{Pattern: s.pat, Count: s.n}
+	}
+	return out, nil
+}
+
+// CliqueCount counts the k-cliques of g (Figure 4d).
+func CliqueCount(g *Graph, k int, opts ...Option) (uint64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("peregrine: clique size %d < 2", k)
+	}
+	return Count(g, pattern.Clique(k), opts...)
+}
+
+// CliqueExists reports whether g contains a k-clique, stopping at the
+// first one found (Figure 4f).
+func CliqueExists(g *Graph, k int, opts ...Option) (bool, error) {
+	if k < 2 {
+		return false, fmt.Errorf("peregrine: clique size %d < 2", k)
+	}
+	return Exists(g, pattern.Clique(k), opts...)
+}
+
+// TriangleCount counts triangles.
+func TriangleCount(g *Graph, opts ...Option) (uint64, error) {
+	return CliqueCount(g, 3, opts...)
+}
+
+// WedgeCount counts edge-induced 3-stars (paths of length two). The
+// number of connected triplets equals twice this count only after
+// accounting for the symmetry of the endpoints; see
+// GlobalClusteringCoefficient.
+func WedgeCount(g *Graph, opts ...Option) (uint64, error) {
+	return Count(g, pattern.Star(3), opts...)
+}
+
+// GlobalClusteringCoefficient computes 3·triangles / triplets exactly.
+func GlobalClusteringCoefficient(g *Graph, opts ...Option) (float64, error) {
+	wedges, err := WedgeCount(g, opts...)
+	if err != nil {
+		return 0, err
+	}
+	if wedges == 0 {
+		return 0, nil
+	}
+	tris, err := TriangleCount(g, opts...)
+	if err != nil {
+		return 0, err
+	}
+	return 3 * float64(tris) / float64(wedges), nil
+}
+
+// GlobalClusteringCoefficientExceeds reports whether the global
+// clustering coefficient exceeds bound, terminating triangle counting as
+// soon as enough triangles have been seen (Figure 4b). The triplet count
+// is computed first from the 3-star count; triangle exploration then
+// stops early once 3·triangles/triplets > bound.
+func GlobalClusteringCoefficientExceeds(g *Graph, bound float64, opts ...Option) (bool, error) {
+	wedges, err := WedgeCount(g, opts...)
+	if err != nil {
+		return 0 > 1, err
+	}
+	if wedges == 0 {
+		return false, nil
+	}
+	need := uint64(bound*float64(wedges)/3) + 1 // triangles required to exceed the bound
+	var seen atomic.Uint64
+	st, err := ForEachMatch(g, pattern.Clique(3), func(ctx *Ctx, m *Match) {
+		if seen.Add(1) >= need {
+			ctx.Stop()
+		}
+	}, opts...)
+	if err != nil {
+		return false, err
+	}
+	_ = st
+	return seen.Load() >= need, nil
+}
+
+// EdgeCount counts single-edge matches; mostly useful to sanity-check a
+// freshly loaded graph (it must equal Graph.NumEdges).
+func EdgeCount(g *Graph, opts ...Option) (uint64, error) {
+	return Count(g, pattern.Chain(2), opts...)
+}

@@ -1,0 +1,64 @@
+// Existence queries with early termination (§5.3): the paper's global
+// clustering coefficient bound program (Figure 4b) and the k-clique
+// existence query (Figure 4f).
+//
+// Both queries stop the exploration the moment the answer is decided:
+// the clustering query counts 3-stars first, then counts triangles only
+// until the bound is provably exceeded; the clique query stops at the
+// first witness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"peregrine"
+)
+
+func main() {
+	bound := flag.Float64("bound", 0.01, "clustering coefficient bound to test")
+	k := flag.Int("k", 6, "clique size for the existence query")
+	scale := flag.Int("scale", 1, "dataset scale")
+	budget := flag.Duration("budget", 10*time.Second, "wall-time bound per existence query")
+	flag.Parse()
+
+	// A dense social graph stand-in, where triangles abound.
+	g := peregrine.StandardDataset(peregrine.OrkutLite, *scale)
+	fmt.Printf("dataset: %v\n", g)
+
+	t0 := time.Now()
+	above, err := peregrine.GlobalClusteringCoefficientExceeds(g, *bound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustering coefficient > %v: %v (decided in %.3fs)\n",
+		*bound, above, time.Since(t0).Seconds())
+
+	// For reference, the exact value (no early termination).
+	t0 = time.Now()
+	exact, err := peregrine.GlobalClusteringCoefficient(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact coefficient: %.4f (full count took %.3fs)\n", exact, time.Since(t0).Seconds())
+
+	// Clique existence with early termination.
+	t0 = time.Now()
+	exists, err := peregrine.CliqueExists(g, *k, peregrine.WithDeadline(*budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d-clique exists: %v (%.3fs)\n", *k, exists, time.Since(t0).Seconds())
+
+	// The same query on a sparse graph: rarer cliques take longer to rule
+	// out, the Table 6 observation.
+	sparse := peregrine.StandardDataset(peregrine.PatentsLite, *scale)
+	t0 = time.Now()
+	exists, err = peregrine.CliqueExists(sparse, *k, peregrine.WithDeadline(*budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d-clique in sparse %v: %v (%.3fs)\n", *k, sparse, exists, time.Since(t0).Seconds())
+}

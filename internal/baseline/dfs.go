@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"peregrine/internal/graph"
+)
+
+// DFSOptions configures the Fractal-style depth-first enumerator.
+type DFSOptions struct {
+	// Size is the target embedding size in vertices.
+	Size int
+	// Filter prunes canonical partial embeddings before extension (a
+	// fractoid's filter step). Nil keeps everything.
+	Filter func(emb []uint32) bool
+	// Classify runs an isomorphism computation per final embedding.
+	Classify bool
+	// Visit receives final embeddings with their code (empty unless
+	// Classify). It is called concurrently from worker goroutines.
+	Visit func(emb []uint32, code string)
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// MaxExplored aborts the run (reason "limit") once the total explored
+	// embeddings across workers exceed it — the analogue of the paper's
+	// did-not-finish-in-5-hours (×) cells. 0 = unlimited.
+	MaxExplored uint64
+}
+
+// DFS explores the same embedding tree as BFS but depth-first, the way
+// Fractal does: the same embeddings are generated and the same
+// canonicality/isomorphism checks performed (Figure 1b/1c shows
+// Fractal's counts are of the same magnitude as Arabesque's), but only
+// one root-to-leaf path is resident per worker, which is why Fractal's
+// memory footprint is far lower in Figure 13.
+func DFS(g *graph.Graph, opt DFSOptions) Metrics {
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	n := int64(g.NumVertices())
+	var next atomic.Int64
+	var explored atomic.Uint64
+	var aborted atomic.Bool
+	perWorker := make([]Metrics, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			m := &perWorker[tid]
+			emb := make([]uint32, 0, opt.Size)
+			for {
+				i := next.Add(1) - 1
+				if i >= n || aborted.Load() {
+					return
+				}
+				emb = emb[:0]
+				emb = append(emb, uint32(i))
+				m.Explored++
+				m.CanonicalityChecks++
+				dfsExtend(g, emb, opt, m)
+				if opt.MaxExplored > 0 && explored.Add(m.Explored-m.lastPublished) > opt.MaxExplored {
+					aborted.Store(true)
+					return
+				}
+				m.lastPublished = m.Explored
+			}
+		}(t)
+	}
+	wg.Wait()
+	var total Metrics
+	for i := range perWorker {
+		total.Add(perWorker[i])
+	}
+	if aborted.Load() {
+		total.Aborted = true
+		total.AbortReason = "limit"
+	}
+	// Peak residency: one path of embeddings per worker.
+	total.PeakStored = uint64(threads * opt.Size)
+	total.PeakStoredBytes = uint64(threads * opt.Size * opt.Size * 4)
+	return total
+}
+
+func dfsExtend(g *graph.Graph, emb []uint32, opt DFSOptions, m *Metrics) {
+	if len(emb) == opt.Size {
+		m.Results++
+		code := ""
+		if opt.Classify {
+			m.IsomorphismChecks++
+			code = patternOf(g, emb).CanonicalCode()
+		}
+		if opt.Visit != nil {
+			opt.Visit(emb, code)
+		}
+		return
+	}
+	ext := extensionSet(g, emb, nil)
+	for _, w := range ext {
+		cand := append(emb, w)
+		m.Explored++
+		m.CanonicalityChecks++
+		if !isCanonical(g, cand) {
+			continue
+		}
+		if opt.Filter != nil && !opt.Filter(cand) {
+			continue
+		}
+		dfsExtend(g, cand, opt, m)
+	}
+}

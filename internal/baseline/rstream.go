@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"sort"
+
+	"peregrine/internal/graph"
+)
+
+// RStream is modeled as a relational streaming engine (OSDI'18): mining
+// is expressed as repeated joins between an embedding table and the edge
+// table (GRAS: "relational algebra to express mining tasks as table
+// joins"). Each expansion step materializes the full joined table — in
+// the real system these tables stream to SSD, here they are resident
+// rows whose size is tracked for the Figure 13 memory accounting.
+// Crucially, join-based expansion defers structural pruning: joins emit
+// tuples that later turn out non-canonical or invalid, which is why
+// RStream's explored-tuple counts in Figure 1 are orders of magnitude
+// above both the result size and the other systems.
+
+// RSTable is a materialized relation of fixed-arity vertex tuples.
+type RSTable struct {
+	Arity int
+	Rows  []uint32 // len(Rows) = Arity × tuple count
+}
+
+// NumRows returns the tuple count.
+func (t *RSTable) NumRows() int {
+	if t.Arity == 0 {
+		return 0
+	}
+	return len(t.Rows) / t.Arity
+}
+
+// Row returns the i-th tuple as a view.
+func (t *RSTable) Row(i int) []uint32 { return t.Rows[i*t.Arity : (i+1)*t.Arity] }
+
+// RStreamOptions configures a run.
+type RStreamOptions struct {
+	// Size is the target tuple arity (embedding size in vertices).
+	Size int
+	// CliqueFilter applies the clique condition when expanding (RStream's
+	// native clique support: no isomorphism checks, but every joined
+	// tuple is still generated and counted first).
+	CliqueFilter bool
+	// Classify runs an isomorphism computation per surviving final tuple
+	// (motif counting / FSM).
+	Classify bool
+	// Visit receives every final, deduplicated embedding (ascending
+	// vertex order) and its code (empty unless Classify).
+	Visit func(emb []uint32, code string)
+	// MaxRows aborts the run (reason "oom") when a materialized relation
+	// exceeds this many tuples — RStream's out-of-memory/out-of-disk
+	// failures in Tables 3 and 5. 0 = unlimited.
+	MaxRows int
+}
+
+// RStream expands the edge table Size-2 times by joining each tuple's
+// columns against the adjacency relation, then deduplicates and
+// classifies at the end.
+func RStream(g *graph.Graph, opt RStreamOptions) Metrics {
+	var m Metrics
+	n := g.NumVertices()
+	// Initial relation: every directed edge (the shuffled edge list).
+	cur := &RSTable{Arity: 2}
+	for u := uint32(0); u < n; u++ {
+		for _, v := range g.Adj(u) {
+			m.Explored++
+			cur.Rows = append(cur.Rows, u, v)
+		}
+	}
+	m.noteStored(uint64(cur.NumRows()), 2)
+
+	for arity := 3; arity <= opt.Size; arity++ {
+		next := &RSTable{Arity: arity}
+		rows := cur.NumRows()
+		for i := 0; i < rows; i++ {
+			row := cur.Row(i)
+			// Join every column against the adjacency relation; the join
+			// does not know which extensions are useful (pattern-oblivious),
+			// so every neighbor of every column lands in the output.
+			for col := 0; col < cur.Arity; col++ {
+				for _, w := range g.Adj(row[col]) {
+					m.Explored++
+					if tupleContains(row, w) {
+						continue // dropped after generation
+					}
+					if opt.CliqueFilter && !tupleCliqueWith(g, row, w) {
+						continue
+					}
+					next.Rows = append(next.Rows, row...)
+					next.Rows = append(next.Rows, w)
+					// Budget check while the relation materializes: join
+					// outputs overflow storage mid-shuffle, exactly how
+					// RStream runs out of memory/disk in Tables 3 and 5.
+					if opt.MaxRows > 0 && next.NumRows() > opt.MaxRows {
+						m.noteStored(uint64(next.NumRows()), arity)
+						m.Aborted = true
+						m.AbortReason = "oom"
+						return m
+					}
+				}
+			}
+		}
+		cur = next
+		m.noteStored(uint64(cur.NumRows()), arity)
+	}
+
+	// Final phase: canonicality (deduplicate automorphic tuples — every
+	// tuple is checked) and classification.
+	seen := make(map[string]bool)
+	rows := cur.NumRows()
+	key := make([]uint32, opt.Size)
+	for i := 0; i < rows; i++ {
+		row := cur.Row(i)
+		m.CanonicalityChecks++
+		copy(key, row)
+		sort.Slice(key, func(a, b int) bool { return key[a] < key[b] })
+		if !connectedSet(g, key) {
+			continue
+		}
+		ks := tupleString(key)
+		if seen[ks] {
+			continue
+		}
+		seen[ks] = true
+		m.Results++
+		code := ""
+		if opt.Classify {
+			m.IsomorphismChecks++
+			code = patternOf(g, key).CanonicalCode()
+		}
+		if opt.Visit != nil {
+			opt.Visit(key, code)
+		}
+	}
+	// The dedup table is also resident; account for it.
+	m.PeakStoredBytes += uint64(len(seen)) * uint64(opt.Size) * 4
+	return m
+}
+
+func tupleContains(row []uint32, w uint32) bool {
+	for _, v := range row {
+		if v == w {
+			return true
+		}
+	}
+	return false
+}
+
+func tupleCliqueWith(g *graph.Graph, row []uint32, w uint32) bool {
+	for _, v := range row {
+		if !g.HasEdge(v, w) {
+			return false
+		}
+	}
+	return true
+}
+
+func tupleString(key []uint32) string {
+	b := make([]byte, 0, len(key)*4)
+	for _, v := range key {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+// connectedSet reports whether the vertex set induces a connected
+// subgraph; join outputs can be disconnected walks revisiting hubs.
+func connectedSet(g *graph.Graph, set []uint32) bool {
+	if len(set) <= 1 {
+		return true
+	}
+	seen := make([]bool, len(set))
+	stack := []int{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := range set {
+			if !seen[j] && g.HasEdge(set[i], set[j]) {
+				seen[j] = true
+				cnt++
+				stack = append(stack, j)
+			}
+		}
+	}
+	return cnt == len(set)
+}

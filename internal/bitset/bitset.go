@@ -1,0 +1,238 @@
+// Package bitset implements compressed bitmaps in the style of Roaring
+// bitmaps (Chambi et al., cited by the paper in §5.5): the 32-bit key
+// space is split into 2^16 chunks, each stored either as a sorted array
+// of 16-bit values (sparse) or as a 64-kilobit bitmap (dense). The
+// paper uses compressed bitmaps for FSM's MNI domains because they are
+// far smaller than dense bitmaps when domains cover a small fraction of
+// a large vertex set.
+//
+// Only the operations MNI aggregation needs are provided: Add, Contains,
+// Or (merge), Cardinality, and size accounting.
+package bitset
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// arrayToBitmapThreshold is the container cardinality at which a sorted
+// array is converted to a bitmap: 4096 values × 2 bytes = 8 KiB, the
+// size of the fixed bitmap, matching the Roaring paper's threshold.
+const arrayToBitmapThreshold = 4096
+
+const bitmapWords = 1 << 10 // 65536 bits / 64
+
+// container holds one 16-bit chunk, as either a sorted array or a bitmap.
+type container struct {
+	array []uint16 // sorted, used while small
+	bits  []uint64 // len bitmapWords when in bitmap mode
+	card  int
+}
+
+func (c *container) isBitmap() bool { return c.bits != nil }
+
+func (c *container) add(low uint16) bool {
+	if c.isBitmap() {
+		w, b := low>>6, uint64(1)<<(low&63)
+		if c.bits[w]&b != 0 {
+			return false
+		}
+		c.bits[w] |= b
+		c.card++
+		return true
+	}
+	i := sort.Search(len(c.array), func(i int) bool { return c.array[i] >= low })
+	if i < len(c.array) && c.array[i] == low {
+		return false
+	}
+	c.array = append(c.array, 0)
+	copy(c.array[i+1:], c.array[i:])
+	c.array[i] = low
+	c.card++
+	if c.card > arrayToBitmapThreshold {
+		c.toBitmap()
+	}
+	return true
+}
+
+func (c *container) contains(low uint16) bool {
+	if c.isBitmap() {
+		return c.bits[low>>6]&(uint64(1)<<(low&63)) != 0
+	}
+	i := sort.Search(len(c.array), func(i int) bool { return c.array[i] >= low })
+	return i < len(c.array) && c.array[i] == low
+}
+
+func (c *container) toBitmap() {
+	bits := make([]uint64, bitmapWords)
+	for _, v := range c.array {
+		bits[v>>6] |= uint64(1) << (v & 63)
+	}
+	c.bits = bits
+	c.array = nil
+}
+
+// or merges other into c.
+func (c *container) or(other *container) {
+	if other.isBitmap() && !c.isBitmap() {
+		c.toBitmap()
+	}
+	if c.isBitmap() {
+		if other.isBitmap() {
+			card := 0
+			for i := range c.bits {
+				c.bits[i] |= other.bits[i]
+				card += popcount(c.bits[i])
+			}
+			c.card = card
+			return
+		}
+		for _, v := range other.array {
+			w, b := v>>6, uint64(1)<<(v&63)
+			if c.bits[w]&b == 0 {
+				c.bits[w] |= b
+				c.card++
+			}
+		}
+		return
+	}
+	// array | array: merge.
+	merged := make([]uint16, 0, len(c.array)+len(other.array))
+	i, j := 0, 0
+	for i < len(c.array) && j < len(other.array) {
+		switch {
+		case c.array[i] < other.array[j]:
+			merged = append(merged, c.array[i])
+			i++
+		case c.array[i] > other.array[j]:
+			merged = append(merged, other.array[j])
+			j++
+		default:
+			merged = append(merged, c.array[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, c.array[i:]...)
+	merged = append(merged, other.array[j:]...)
+	c.array = merged
+	c.card = len(merged)
+	if c.card > arrayToBitmapThreshold {
+		c.toBitmap()
+	}
+}
+
+func (c *container) sizeBytes() int {
+	if c.isBitmap() {
+		return bitmapWords * 8
+	}
+	return len(c.array) * 2
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// Bitmap is a compressed set of uint32 values.
+type Bitmap struct {
+	keys []uint16     // sorted high-16 chunk keys
+	cts  []*container // parallel to keys
+}
+
+// New returns an empty bitmap.
+func New() *Bitmap { return &Bitmap{} }
+
+// Add inserts x, reporting whether it was newly added.
+func (b *Bitmap) Add(x uint32) bool {
+	key, low := uint16(x>>16), uint16(x)
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= key })
+	if i == len(b.keys) || b.keys[i] != key {
+		b.keys = append(b.keys, 0)
+		b.cts = append(b.cts, nil)
+		copy(b.keys[i+1:], b.keys[i:])
+		copy(b.cts[i+1:], b.cts[i:])
+		b.keys[i] = key
+		b.cts[i] = &container{}
+	}
+	return b.cts[i].add(low)
+}
+
+// Contains reports whether x is in the set.
+func (b *Bitmap) Contains(x uint32) bool {
+	key, low := uint16(x>>16), uint16(x)
+	i := sort.Search(len(b.keys), func(i int) bool { return b.keys[i] >= key })
+	if i == len(b.keys) || b.keys[i] != key {
+		return false
+	}
+	return b.cts[i].contains(low)
+}
+
+// Cardinality returns the number of elements.
+func (b *Bitmap) Cardinality() int {
+	n := 0
+	for _, c := range b.cts {
+		n += c.card
+	}
+	return n
+}
+
+// Or merges other into b (b |= other).
+func (b *Bitmap) Or(other *Bitmap) {
+	for i, key := range other.keys {
+		j := sort.Search(len(b.keys), func(j int) bool { return b.keys[j] >= key })
+		if j == len(b.keys) || b.keys[j] != key {
+			// Copy the container so future mutation of either bitmap is
+			// independent.
+			cp := &container{card: other.cts[i].card}
+			if other.cts[i].isBitmap() {
+				cp.bits = append([]uint64(nil), other.cts[i].bits...)
+			} else {
+				cp.array = append([]uint16(nil), other.cts[i].array...)
+			}
+			b.keys = append(b.keys, 0)
+			b.cts = append(b.cts, nil)
+			copy(b.keys[j+1:], b.keys[j:])
+			copy(b.cts[j+1:], b.cts[j:])
+			b.keys[j] = key
+			b.cts[j] = cp
+			continue
+		}
+		b.cts[j].or(other.cts[i])
+	}
+}
+
+// SizeBytes estimates the heap footprint of the container payloads,
+// used by the Figure 13 memory accounting.
+func (b *Bitmap) SizeBytes() int {
+	n := len(b.keys) * 10 // keys + container headers, approximate
+	for _, c := range b.cts {
+		n += c.sizeBytes()
+	}
+	return n
+}
+
+// ForEach visits elements in ascending order until f returns false.
+func (b *Bitmap) ForEach(f func(uint32) bool) {
+	for i, key := range b.keys {
+		hi := uint32(key) << 16
+		c := b.cts[i]
+		if c.isBitmap() {
+			for w, word := range c.bits {
+				for word != 0 {
+					bit := word & (-word)
+					lz := trailingZeros(word)
+					if !f(hi | uint32(w<<6) | uint32(lz)) {
+						return
+					}
+					word ^= bit
+				}
+			}
+			continue
+		}
+		for _, v := range c.array {
+			if !f(hi | uint32(v)) {
+				return
+			}
+		}
+	}
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

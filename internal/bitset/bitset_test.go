@@ -1,0 +1,215 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContains(t *testing.T) {
+	b := New()
+	values := []uint32{0, 1, 63, 64, 65535, 65536, 1 << 20, 1<<31 + 7}
+	for _, v := range values {
+		if !b.Add(v) {
+			t.Errorf("Add(%d) reported duplicate on first insert", v)
+		}
+	}
+	for _, v := range values {
+		if b.Add(v) {
+			t.Errorf("Add(%d) reported new on duplicate insert", v)
+		}
+		if !b.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []uint32{2, 66, 65537, 1<<20 + 1} {
+		if b.Contains(v) {
+			t.Errorf("Contains(%d) = true for absent value", v)
+		}
+	}
+	if b.Cardinality() != len(values) {
+		t.Fatalf("Cardinality = %d, want %d", b.Cardinality(), len(values))
+	}
+}
+
+func TestArrayToBitmapConversion(t *testing.T) {
+	b := New()
+	// Push one chunk past the conversion threshold.
+	for i := uint32(0); i < arrayToBitmapThreshold+100; i++ {
+		b.Add(i * 3 % 65536)
+	}
+	want := make(map[uint32]bool)
+	for i := uint32(0); i < arrayToBitmapThreshold+100; i++ {
+		want[i*3%65536] = true
+	}
+	if b.Cardinality() != len(want) {
+		t.Fatalf("Cardinality = %d, want %d", b.Cardinality(), len(want))
+	}
+	for v := range want {
+		if !b.Contains(v) {
+			t.Fatalf("lost %d after conversion", v)
+		}
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	// Property: Bitmap behaves exactly like map[uint32]bool under a
+	// random operation sequence.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		model := make(map[uint32]bool)
+		for i := 0; i < 2000; i++ {
+			// Mix of clustered values (same chunk) and scattered ones.
+			var v uint32
+			if rng.Intn(2) == 0 {
+				v = uint32(rng.Intn(5000))
+			} else {
+				v = rng.Uint32()
+			}
+			addedB := b.Add(v)
+			addedM := !model[v]
+			model[v] = true
+			if addedB != addedM {
+				return false
+			}
+		}
+		if b.Cardinality() != len(model) {
+			return false
+		}
+		for v := range model {
+			if !b.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOr(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(), New()
+		model := make(map[uint32]bool)
+		for i := 0; i < 1500; i++ {
+			v := uint32(rng.Intn(200000))
+			if rng.Intn(2) == 0 {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+			model[v] = true
+		}
+		a.Or(b)
+		if a.Cardinality() != len(model) {
+			return false
+		}
+		for v := range model {
+			if !a.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrDoesNotAliasSource(t *testing.T) {
+	a, b := New(), New()
+	b.Add(5)
+	a.Or(b)
+	a.Add(6)
+	if b.Contains(6) {
+		t.Fatal("Or aliased the source container")
+	}
+	b.Add(7)
+	if a.Contains(7) {
+		t.Fatal("Or aliased the destination container")
+	}
+}
+
+func TestOrMixedContainerKinds(t *testing.T) {
+	// array|bitmap, bitmap|array, bitmap|bitmap within one chunk.
+	mk := func(n int) *Bitmap {
+		b := New()
+		for i := 0; i < n; i++ {
+			b.Add(uint32(i * 2))
+		}
+		return b
+	}
+	small, big := mk(100), mk(arrayToBitmapThreshold+500)
+	cases := []struct{ x, y *Bitmap }{
+		{mk(100), mk(arrayToBitmapThreshold + 500)},
+		{mk(arrayToBitmapThreshold + 500), mk(100)},
+		{mk(arrayToBitmapThreshold + 500), mk(arrayToBitmapThreshold + 600)},
+	}
+	_ = small
+	_ = big
+	for i, c := range cases {
+		before := c.y.Cardinality()
+		c.x.Or(c.y)
+		if c.x.Cardinality() < before {
+			t.Errorf("case %d: union smaller than operand", i)
+		}
+		bad := false
+		c.y.ForEach(func(v uint32) bool {
+			if !c.x.Contains(v) {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad {
+			t.Errorf("case %d: union missing source values", i)
+		}
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	b := New()
+	vals := []uint32{9, 100000, 3, 70000, 50, 1 << 25}
+	for _, v := range vals {
+		b.Add(v)
+	}
+	var got []uint32
+	b.ForEach(func(v uint32) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != len(vals) {
+		t.Fatalf("ForEach visited %d values, want %d", len(got), len(vals))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("ForEach not ascending: %v", got)
+		}
+	}
+	// Early stop.
+	count := 0
+	b.ForEach(func(v uint32) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("ForEach early stop visited %d", count)
+	}
+}
+
+func TestSizeBytesCompression(t *testing.T) {
+	// A sparse set must be far smaller than a dense bitmap over the same
+	// key range — the reason the paper uses Roaring-style bitmaps (§5.5).
+	sparse := New()
+	for i := 0; i < 1000; i++ {
+		sparse.Add(uint32(i * 4096))
+	}
+	denseEquivalent := (1000 * 4096) / 8
+	if sparse.SizeBytes() >= denseEquivalent/10 {
+		t.Fatalf("sparse set uses %d bytes; dense equivalent %d — compression missing",
+			sparse.SizeBytes(), denseEquivalent)
+	}
+}

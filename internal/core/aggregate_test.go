@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOnTheFlyCountsEverything(t *testing.T) {
+	const threads = 4
+	const perThread = 10000
+	agg := NewOnTheFly[Counter](threads, time.Millisecond, NewCounter, MergeCounter)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			local := NewCounter()
+			for i := 0; i < perThread; i++ {
+				local.N++
+				if i%100 == 0 {
+					local = agg.Publish(tid, local)
+				}
+			}
+			agg.Flush(tid, local)
+		}(tid)
+	}
+	wg.Wait()
+	final := agg.Close()
+	if final.N != threads*perThread {
+		t.Fatalf("aggregated %d, want %d", final.N, threads*perThread)
+	}
+}
+
+func TestOnTheFlyMidRunReads(t *testing.T) {
+	agg := NewOnTheFly[Counter](1, time.Millisecond, NewCounter, MergeCounter)
+	local := NewCounter()
+	local.N = 42
+	agg.Flush(0, local)
+	// The aggregator folds published values on its timer; Read must
+	// eventually observe them.
+	deadline := time.Now().Add(time.Second)
+	for {
+		var seen uint64
+		agg.Read(func(c *Counter) { seen = c.N })
+		if seen == 42 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mid-run read never observed the published value")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if final := agg.Close(); final.N != 42 {
+		t.Fatalf("final = %d, want 42", final.N)
+	}
+}
+
+func TestOnTheFlyPublishNeverBlocks(t *testing.T) {
+	// With the aggregator effectively stalled (huge interval), Publish
+	// must still return promptly: the first call hands off, later calls
+	// keep the local value.
+	agg := NewOnTheFly[Counter](1, time.Hour, NewCounter, MergeCounter)
+	a := NewCounter()
+	a.N = 1
+	b := agg.Publish(0, a)
+	if b == a {
+		t.Fatal("first publish should hand off and return a fresh value")
+	}
+	b.N = 2
+	c := agg.Publish(0, b)
+	if c != b {
+		t.Fatal("second publish with a full slot must return the same value")
+	}
+	agg.Flush(0, c)
+	if final := agg.Close(); final.N != 3 {
+		t.Fatalf("final = %d, want 3", final.N)
+	}
+}

@@ -1,0 +1,469 @@
+// Package core implements the pattern-aware matching engine (paper §4
+// and §5): the guided exploration of a data graph driven by an
+// exploration plan, with no isomorphism or canonicality checks on any
+// partial or complete match.
+//
+// A mining task is a data vertex (§5.1). From each start vertex the
+// engine matches the pattern core by recursive traversal of each
+// matching order, then completes matches by intersecting (and, for
+// anti-edges, subtracting) adjacency lists of the core match, then
+// verifies anti-vertex constraints, and finally hands each complete
+// match to the user callback. Partial state lives only on the recursion
+// stack — the engine never materializes intermediate match sets, which
+// is the source of the paper's memory advantage (Figure 13).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peregrine/internal/graph"
+	"peregrine/internal/pattern"
+	"peregrine/internal/plan"
+	"peregrine/internal/profile"
+)
+
+// NoVertex marks an unmatched mapping slot (anti-vertices never match).
+const NoVertex = ^uint32(0)
+
+// Match is one complete match delivered to a callback. Mapping[v] is the
+// data vertex (engine id) matched to pattern vertex v, or NoVertex for
+// anti-vertices. The Mapping slice is reused between callback
+// invocations: callbacks that retain it must copy it.
+type Match struct {
+	Pattern *pattern.Pattern
+	Mapping []uint32
+}
+
+// OrigMapping translates the match to original input vertex ids.
+func (m *Match) OrigMapping(g *graph.Graph) []uint32 {
+	out := make([]uint32, len(m.Mapping))
+	for i, v := range m.Mapping {
+		if v == NoVertex {
+			out[i] = NoVertex
+		} else {
+			out[i] = g.OrigID(v)
+		}
+	}
+	return out
+}
+
+// Ctx is passed to callbacks; it identifies the worker and allows
+// stopping the exploration early (§5.3).
+type Ctx struct {
+	Thread int
+	G      *graph.Graph
+	stop   *atomic.Bool
+}
+
+// Stop requests early termination: all workers observe the flag at their
+// next check and unwind (§5.3, existence queries).
+func (c *Ctx) Stop() { c.stop.Store(true) }
+
+// Stopped reports whether early termination was requested.
+func (c *Ctx) Stopped() bool { return c.stop.Load() }
+
+// Callback processes one match on a worker thread. Implementations must
+// be safe for concurrent invocation from multiple workers.
+type Callback func(ctx *Ctx, m *Match)
+
+// Options configures a match execution.
+type Options struct {
+	// Threads is the worker count; 0 means runtime.GOMAXPROCS(0).
+	Threads int
+
+	// NoSymmetryBreaking runs the engine without partial orders (the
+	// paper's PRG-U configuration): every automorphic variant of every
+	// match is enumerated.
+	NoSymmetryBreaking bool
+
+	// Breakdown, if non-nil, accumulates the Figure 11 per-stage time
+	// split. Enabling it adds timer overhead to the hot path.
+	Breakdown *profile.Breakdown
+
+	// LoadBalance, if non-nil, records per-worker busy time and finish
+	// times (§6.7).
+	LoadBalance *profile.LoadBalance
+
+	// Deadline, when positive, stops the exploration after the given
+	// duration as if Ctx.Stop had been called; Stats.Stopped reports
+	// whether the run was cut short. Workloads whose exhaustive searches
+	// can explode (e.g. ruling out a 14-clique in a dense graph) use this
+	// to bound wall time.
+	Deadline time.Duration
+}
+
+// Stats summarizes one match execution.
+type Stats struct {
+	Matches     uint64        // complete matches found (callback invocations, or counted matches)
+	CoreMatches uint64        // matches of the pattern core
+	Tasks       uint64        // start vertices processed
+	Stopped     bool          // true if exploration terminated early
+	PlanTime    time.Duration // exploration-plan generation time
+	MatchTime   time.Duration // wall time of the parallel exploration
+	Threads     int
+}
+
+// Run finds every match of p in g and invokes cb for each. A nil cb
+// counts matches without callback overhead; the count is in
+// Stats.Matches either way.
+func Run(g *graph.Graph, p *pattern.Pattern, cb Callback, opt Options) (Stats, error) {
+	t0 := time.Now()
+	pl, err := plan.New(p, plan.Options{NoSymmetryBreaking: opt.NoSymmetryBreaking})
+	if err != nil {
+		return Stats{}, err
+	}
+	st := RunPlan(g, pl, cb, opt)
+	st.PlanTime = time.Since(t0) - st.MatchTime
+	return st, nil
+}
+
+// Count returns the number of matches of p in g.
+func Count(g *graph.Graph, p *pattern.Pattern, opt Options) (uint64, error) {
+	st, err := Run(g, p, nil, opt)
+	if err != nil {
+		return 0, err
+	}
+	return st.Matches, nil
+}
+
+// Exists reports whether at least one match of p exists in g, stopping
+// exploration at the first match (§5.3).
+func Exists(g *graph.Graph, p *pattern.Pattern, opt Options) (bool, error) {
+	found := new(atomic.Bool)
+	_, err := Run(g, p, func(ctx *Ctx, m *Match) {
+		found.Store(true)
+		ctx.Stop()
+	}, opt)
+	return found.Load(), err
+}
+
+// RunPlan runs a precomputed plan. Reusing a plan across graphs or
+// repeated runs skips plan generation.
+func RunPlan(g *graph.Graph, pl *plan.Plan, cb Callback, opt Options) Stats {
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	n := int64(g.NumVertices())
+	if n == 0 {
+		return Stats{Threads: threads}
+	}
+
+	start := time.Now()
+	var stop atomic.Bool
+	if opt.Deadline > 0 {
+		timer := time.AfterFunc(opt.Deadline, func() { stop.Store(true) })
+		defer timer.Stop()
+	}
+	// Tasks are handed out from the highest vertex id down: ids are
+	// degree-ordered, so high-degree (expensive, heavily-pruned) tasks
+	// run first to avoid stragglers (§5.2).
+	next := new(atomic.Int64)
+	next.Store(n)
+
+	stats := make([]Stats, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := newWorker(g, pl, cb, tid, &stop, opt.Breakdown.Thread())
+			busyStart := time.Now()
+			for {
+				i := next.Add(-1)
+				if i < 0 || stop.Load() {
+					break
+				}
+				w.runTask(uint32(i))
+				w.stats.Tasks++
+			}
+			w.tb.Close()
+			finish := time.Now()
+			opt.LoadBalance.Report(tid, finish.Sub(busyStart), finish)
+			stats[tid] = w.stats
+		}(t)
+	}
+	wg.Wait()
+
+	var total Stats
+	for _, s := range stats {
+		total.Matches += s.Matches
+		total.CoreMatches += s.CoreMatches
+		total.Tasks += s.Tasks
+	}
+	total.Stopped = stop.Load()
+	total.MatchTime = time.Since(start)
+	total.Threads = threads
+	return total
+}
+
+// worker holds all per-thread state; tasks share nothing but the atomic
+// task counter and the stop flag (§5.1: "tasks ... are independent of
+// each other").
+type worker struct {
+	g   *graph.Graph
+	pl  *plan.Plan
+	cb  Callback
+	ctx Ctx
+
+	match    []uint32 // pattern vertex -> data id for the current match
+	coreData []uint32 // matching-order position -> data id
+	assigned []uint32 // data ids matched so far (core + completed non-core)
+
+	coreBufs [][]uint32 // scratch per core recursion depth
+	ncBufs   [][]uint32 // scratch per completion depth
+	listArg  [][]uint32 // scratch for gathering adjacency list operands
+
+	m     Match // reused callback argument
+	stats Stats
+	tb    *profile.ThreadBreakdown
+}
+
+func newWorker(g *graph.Graph, pl *plan.Plan, cb Callback, tid int, stop *atomic.Bool, tb *profile.ThreadBreakdown) *worker {
+	n := pl.Pat.N()
+	w := &worker{
+		g:        g,
+		pl:       pl,
+		cb:       cb,
+		ctx:      Ctx{Thread: tid, G: g, stop: stop},
+		match:    make([]uint32, n),
+		coreData: make([]uint32, len(pl.Core)),
+		assigned: make([]uint32, 0, n),
+		coreBufs: make([][]uint32, len(pl.Core)),
+		ncBufs:   make([][]uint32, len(pl.NonCore)+1),
+		listArg:  make([][]uint32, 0, n),
+		tb:       tb,
+	}
+	for i := range w.match {
+		w.match[i] = NoVertex
+	}
+	w.m = Match{Pattern: pl.Pat, Mapping: w.match}
+	return w
+}
+
+// runTask explores all matches whose maximum-id core vertex is v (§5.1):
+// v is bound to the highest position of each matching order, and the
+// remaining core positions are matched downward.
+func (w *worker) runTask(v uint32) {
+	for _, mo := range w.pl.Orders {
+		if mo.Labels[mo.K-1] != pattern.Wildcard && pattern.Label(w.g.Label(v)) != mo.Labels[mo.K-1] {
+			continue
+		}
+		w.coreData[mo.K-1] = v
+		w.matchCore(mo, 0)
+	}
+}
+
+// matchCore recursively matches the remaining core positions of mo in
+// traversal order; step t matches position mo.Steps[t].Pos.
+func (w *worker) matchCore(mo *plan.MatchingOrder, t int) {
+	if t == len(mo.Steps) {
+		w.stats.CoreMatches++
+		w.completeCore(mo)
+		return
+	}
+	if w.ctx.stop.Load() {
+		return
+	}
+	st := &mo.Steps[t]
+
+	w.tb.Enter(profile.StagePO)
+	lo, hi := noLo, noHi
+	if st.LoPos >= 0 {
+		lo = int64(w.coreData[st.LoPos])
+	}
+	if st.HiPos >= 0 {
+		hi = int64(w.coreData[st.HiPos])
+	}
+	w.tb.Enter(profile.StageCore)
+	lists := w.listArg[:0]
+	for _, p := range st.NbrVisited {
+		lists = append(lists, w.g.Adj(w.coreData[p]))
+	}
+	if cap(w.coreBufs[t]) == 0 {
+		w.coreBufs[t] = make([]uint32, 0, 256)
+	}
+	cands := intersectListsInto(w.coreBufs[t], lists, lo, hi)
+	if len(lists) > 1 && cap(cands) > cap(w.coreBufs[t]) {
+		// Keep the grown buffer for future tasks. Single-list results are
+		// views into graph storage and must not be adopted.
+		w.coreBufs[t] = cands[:0:cap(cands)]
+	}
+
+	// Candidate filtering and descent are part of matching the core
+	// (Figure 11's "Core" stage); deeper levels re-attribute themselves.
+	for _, c := range cands {
+		if st.Label != pattern.Wildcard && pattern.Label(w.g.Label(c)) != st.Label {
+			continue
+		}
+		if w.rejectAnti(c, st.AntiVisited) {
+			continue
+		}
+		w.coreData[st.Pos] = c
+		w.matchCore(mo, t+1)
+		w.tb.Enter(profile.StageCore)
+	}
+}
+
+// rejectAnti reports whether candidate c is adjacent to the match of any
+// anti-adjacent visited position (anti-edge enforcement inside the core).
+func (w *worker) rejectAnti(c uint32, antiPos []int) bool {
+	for _, p := range antiPos {
+		if w.g.HasEdge(c, w.coreData[p]) {
+			return true
+		}
+	}
+	return false
+}
+
+// completeCore converts the matched ordered view into core matches — one
+// per sequence (§4.1: "a match for pMi results in 1 match for pC per
+// valid vertex sequence") — and completes each.
+func (w *worker) completeCore(mo *plan.MatchingOrder) {
+	w.tb.Enter(profile.StageOther) // remapping positions to pattern vertices
+	for _, seq := range mo.Seqs {
+		if w.ctx.stop.Load() {
+			return
+		}
+		w.assigned = w.assigned[:0]
+		for pos, pv := range seq {
+			w.match[pv] = w.coreData[pos]
+			w.assigned = append(w.assigned, w.coreData[pos])
+		}
+		w.completeFrom(0)
+		for _, pv := range seq {
+			w.match[pv] = NoVertex
+		}
+	}
+}
+
+// completeFrom recursively assigns non-core vertices in plan order.
+// Candidates depend only on the core match (non-core vertices are an
+// independent set), plus ordering and distinctness constraints against
+// earlier assignments.
+func (w *worker) completeFrom(i int) {
+	if i == len(w.pl.NonCore) {
+		w.tb.Enter(profile.StageNonCore) // anti-vertex set intersections
+		if w.checkAntiVertices() {
+			w.stats.Matches++
+			if w.cb != nil {
+				w.tb.Enter(profile.StageOther)
+				w.cb(&w.ctx, &w.m)
+			}
+		}
+		return
+	}
+	if w.ctx.stop.Load() {
+		return
+	}
+	st := &w.pl.NonCore[i]
+
+	w.tb.Enter(profile.StagePO)
+	lo, hi := noLo, noHi
+	for _, pv := range st.LowerBound {
+		if d := int64(w.match[pv]); d > lo {
+			lo = d
+		}
+	}
+	for _, pv := range st.UpperBound {
+		if d := int64(w.match[pv]); d < hi {
+			hi = d
+		}
+	}
+	if lo >= hi {
+		w.tb.Enter(profile.StageOther)
+		return
+	}
+
+	w.tb.Enter(profile.StageNonCore)
+	lists := w.listArg[:0]
+	for _, pv := range st.CoreNbrs {
+		lists = append(lists, w.g.Adj(w.match[pv]))
+	}
+	if cap(w.ncBufs[i]) == 0 {
+		w.ncBufs[i] = make([]uint32, 0, 256)
+	}
+	cands := intersectListsInto(w.ncBufs[i], lists, lo, hi)
+	if len(lists) > 1 && cap(cands) > cap(w.ncBufs[i]) {
+		w.ncBufs[i] = cands[:0:cap(cands)]
+	}
+
+	// Candidate filtering, distinctness, and anti-edge rejection are all
+	// part of completing the match (Figure 11's "Non-Core" stage).
+outer:
+	for _, c := range cands {
+		if st.Label != pattern.Wildcard && pattern.Label(w.g.Label(c)) != st.Label {
+			continue
+		}
+		for _, used := range w.assigned {
+			if used == c {
+				continue outer
+			}
+		}
+		// Anti-edge enforcement: c must not be adjacent to the match of
+		// any anti-adjacent core vertex (§4.2's set difference, applied
+		// per candidate with binary search).
+		for _, pv := range st.CoreAnti {
+			if w.g.HasEdge(c, w.match[pv]) {
+				continue outer
+			}
+		}
+		w.match[st.V] = c
+		w.assigned = append(w.assigned, c)
+		w.completeFrom(i + 1)
+		w.tb.Enter(profile.StageNonCore)
+		w.assigned = w.assigned[:len(w.assigned)-1]
+		w.match[st.V] = NoVertex
+	}
+}
+
+// checkAntiVertices verifies the §4.3 constraint for every anti-vertex:
+// no data vertex may simultaneously (a) neighbor every match of the
+// anti-vertex's pattern neighbors and (b) avoid being the match of any
+// of those neighbors' own pattern neighbors.
+func (w *worker) checkAntiVertices() bool {
+	for ci := range w.pl.Checks {
+		chk := &w.pl.Checks[ci]
+		// Intersect adjacency lists of the matched neighbors, smallest
+		// first, streaming the exclusion test.
+		lists := w.listArg[:0]
+		for _, u := range chk.Nbrs {
+			lists = append(lists, w.g.Adj(w.match[u]))
+		}
+		if cap(w.ncBufs[len(w.pl.NonCore)]) == 0 {
+			w.ncBufs[len(w.pl.NonCore)] = make([]uint32, 0, 256)
+		}
+		common := intersectListsInto(w.ncBufs[len(w.pl.NonCore)], lists, noLo, noHi)
+	candidates:
+		for _, x := range common {
+			// x survives term i iff x is not the match of any pattern
+			// neighbor of Nbrs[i]; if it survives all terms, the
+			// anti-vertex constraint is violated.
+			for i := range chk.Nbrs {
+				for _, pv := range chk.Exclude[i] {
+					if w.match[pv] == x {
+						continue candidates // excluded by term i
+					}
+				}
+			}
+			return false // violator exists: a data vertex matches the anti-vertex
+		}
+	}
+	return true
+}
+
+// PlanFor exposes plan generation with the engine's options, for tools
+// and tests that inspect plans.
+func PlanFor(p *pattern.Pattern, opt Options) (*plan.Plan, error) {
+	return plan.New(p, plan.Options{NoSymmetryBreaking: opt.NoSymmetryBreaking})
+}
+
+// String renders stats compactly for logs and tables.
+func (s Stats) String() string {
+	return fmt.Sprintf("matches=%d core=%d tasks=%d threads=%d plan=%v match=%v stopped=%v",
+		s.Matches, s.CoreMatches, s.Tasks, s.Threads, s.PlanTime, s.MatchTime, s.Stopped)
+}

@@ -1,0 +1,134 @@
+package core
+
+import "sort"
+
+// Sorted-set primitives over adjacency lists. The engine's inner loops
+// are intersections and differences of sorted uint32 slices (paper §4.1:
+// "identifying matches using simple graph traversals and adjacency list
+// intersection operations"), so these are written to avoid allocation:
+// callers pass destination buffers that are reused across recursion
+// levels.
+
+// unbounded marks an absent id bound; ids are uint32 so int64 sentinels
+// never collide with real values.
+const (
+	noLo = int64(-1)
+	noHi = int64(1) << 40
+)
+
+// clip returns the subslice of sorted s whose elements x satisfy
+// lo < x < hi (both bounds exclusive).
+func clip(s []uint32, lo, hi int64) []uint32 {
+	i := sort.Search(len(s), func(i int) bool { return int64(s[i]) > lo })
+	j := sort.Search(len(s), func(j int) bool { return int64(s[j]) >= hi })
+	if i >= j {
+		return s[:0]
+	}
+	return s[i:j]
+}
+
+// intersect2Into writes the intersection of sorted a and b into dst and
+// returns it. When the lengths are badly skewed it binary-searches the
+// longer list instead of merging (galloping), which matters for the
+// high-degree hub vertices of power-law graphs.
+func intersect2Into(dst []uint32, a, b []uint32) []uint32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b)/(len(a)+1) >= 16 {
+		// Gallop: search each element of a in b.
+		lo := 0
+		for _, x := range a {
+			i := lo + sort.Search(len(b)-lo, func(i int) bool { return b[lo+i] >= x })
+			if i < len(b) && b[i] == x {
+				dst = append(dst, x)
+				lo = i + 1
+			} else {
+				lo = i
+			}
+			if lo >= len(b) {
+				break
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// intersectListsInto intersects all sorted lists, clipped to (lo, hi),
+// writing the result into buf (whose contents are overwritten). For a
+// single list it returns a clipped view without copying. lists must be
+// non-empty.
+func intersectListsInto(buf []uint32, lists [][]uint32, lo, hi int64) []uint32 {
+	// Start from the shortest list: intersection size is bounded by it.
+	shortest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[shortest]) {
+			shortest = i
+		}
+	}
+	cur := clip(lists[shortest], lo, hi)
+	if len(lists) == 1 {
+		return cur
+	}
+	out := buf[:0]
+	first := true
+	for i, l := range lists {
+		if i == shortest {
+			continue
+		}
+		if first {
+			out = intersect2Into(buf[:0], cur, l)
+			first = false
+		} else {
+			// Intersect in place: result is always a prefix-compatible
+			// subset, so overwrite forward.
+			out = intersectInPlace(out, l)
+		}
+		if len(out) == 0 {
+			return out
+		}
+	}
+	return out
+}
+
+// intersectInPlace retains only the elements of dst present in sorted b,
+// compacting dst forward.
+func intersectInPlace(dst []uint32, b []uint32) []uint32 {
+	w := 0
+	j := 0
+	for _, x := range dst {
+		j += sort.Search(len(b)-j, func(i int) bool { return b[j+i] >= x })
+		if j < len(b) && b[j] == x {
+			dst[w] = x
+			w++
+			j++
+		}
+		if j >= len(b) {
+			break
+		}
+	}
+	return dst[:w]
+}
+
+// containsSorted reports whether sorted s contains x.
+func containsSorted(s []uint32, x uint32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}

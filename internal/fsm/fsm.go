@@ -1,0 +1,195 @@
+// Package fsm implements frequent subgraph mining (paper Figure 4a):
+// level-wise growth of labeled patterns with MNI support and dynamic
+// label discovery (§3.2.1), executed on the pattern-aware engine with
+// on-the-fly aggregation (§5.4).
+package fsm
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"peregrine/internal/core"
+	"peregrine/internal/graph"
+	"peregrine/internal/mni"
+	"peregrine/internal/pattern"
+)
+
+// FrequentPattern is one result: a fully labeled pattern and its MNI
+// support.
+type FrequentPattern struct {
+	Pattern *pattern.Pattern
+	Support int
+}
+
+// Level summarizes one FSM iteration.
+type Level struct {
+	Edges             int
+	QueriesMatched    int // partially-labeled query patterns explored
+	LabeledDiscovered int
+	LabeledFrequent   int
+	Elapsed           time.Duration
+}
+
+// Result carries the frequent patterns of the final level plus
+// per-level statistics.
+type Result struct {
+	Frequent    []FrequentPattern
+	Levels      []Level
+	DomainBytes int // peak bitmap memory across levels (Figure 13 accounting)
+}
+
+// Mine returns the labeled patterns with exactly maxEdges edges whose
+// MNI support in g is at least support. It starts from the single
+// unlabeled edge, discovers frequent labelings dynamically, and grows
+// frequent patterns edge by edge, relying on MNI's anti-monotonicity.
+func Mine(g *graph.Graph, maxEdges, support int, opts core.Options) (*Result, error) {
+	if !g.Labeled() {
+		return nil, fmt.Errorf("fsm: requires a labeled graph")
+	}
+	if maxEdges < 1 {
+		return nil, fmt.Errorf("fsm: needs maxEdges >= 1")
+	}
+	if support < 1 {
+		return nil, fmt.Errorf("fsm: needs support >= 1")
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	opts.Threads = threads
+
+	res := &Result{}
+	queries := pattern.GenerateAllEdgeInduced(1) // the single unlabeled edge
+	for edges := 1; edges <= maxEdges; edges++ {
+		lvlStart := time.Now()
+		table, err := matchLevel(g, queries, threads, opts)
+		if err != nil {
+			return nil, err
+		}
+		if sz := table.SizeBytes(); sz > res.DomainBytes {
+			res.DomainBytes = sz
+		}
+		var frequent []FrequentPattern
+		for _, d := range table.ByCode {
+			if s := d.Support(); s >= support {
+				frequent = append(frequent, FrequentPattern{Pattern: d.Pattern(), Support: s})
+			}
+		}
+		sort.Slice(frequent, func(i, j int) bool {
+			return frequent[i].Pattern.CanonicalCode() < frequent[j].Pattern.CanonicalCode()
+		})
+		res.Levels = append(res.Levels, Level{
+			Edges:             edges,
+			QueriesMatched:    len(queries),
+			LabeledDiscovered: len(table.ByCode),
+			LabeledFrequent:   len(frequent),
+			Elapsed:           time.Since(lvlStart),
+		})
+		if edges == maxEdges {
+			res.Frequent = frequent
+			break
+		}
+		if len(frequent) == 0 {
+			break // anti-monotonicity: nothing larger can be frequent
+		}
+		next := make([]*pattern.Pattern, 0, len(frequent))
+		for _, f := range frequent {
+			next = append(next, f.Pattern)
+		}
+		queries = pattern.ExtendByEdge(next)
+	}
+	return res, nil
+}
+
+// matchLevel matches every query pattern of one FSM level and aggregates
+// MNI domains keyed by discovered labeled pattern. Aggregation follows
+// the paper's on-the-fly design (§5.4): workers accumulate into
+// thread-local tables and periodically publish them to an asynchronous
+// aggregator; the matching threads never block.
+func matchLevel(g *graph.Graph, queries []*pattern.Pattern, threads int, opts core.Options) (*mni.Table, error) {
+	agg := core.NewOnTheFly[mni.Table](threads, 0, func() *mni.Table {
+		return mni.NewTable()
+	}, func(dst, src *mni.Table) {
+		mni.Merge(dst, src)
+	})
+
+	type worker struct {
+		local   *mni.Table
+		pending int
+		// Per-(query,labels) cache of the canonical remapping, so each
+		// distinct labeling pays the canonicalization cost once.
+		remaps map[string]*labelRemap
+		key    []byte
+		mapped []uint32
+	}
+	workers := make([]*worker, threads)
+	for i := range workers {
+		workers[i] = &worker{local: mni.NewTable(), remaps: make(map[string]*labelRemap)}
+	}
+
+	for _, q := range queries {
+		q := q
+		reg := q.RegularVertices()
+		// The remap cache is valid for one query pattern only: the same
+		// label vector names different structures under different queries.
+		for _, w := range workers {
+			clear(w.remaps)
+		}
+		cb := func(ctx *core.Ctx, m *core.Match) {
+			w := workers[ctx.Thread]
+			// Label-discovery key: the labels of the matched vertices.
+			w.key = w.key[:0]
+			for _, v := range reg {
+				l := g.Label(m.Mapping[v])
+				w.key = append(w.key, byte(l>>8), byte(l))
+			}
+			rm, ok := w.remaps[string(w.key)]
+			if !ok {
+				rm = newLabelRemap(g, q, m.Mapping)
+				w.remaps[string(w.key)] = rm
+			}
+			if cap(w.mapped) < q.N() {
+				w.mapped = make([]uint32, q.N())
+			}
+			mapped := w.mapped[:q.N()]
+			for _, v := range reg {
+				mapped[rm.perm[v]] = m.Mapping[v]
+			}
+			w.local.Get(rm.code, func() *mni.Domain { return mni.NewDomain(rm.canonical) }).AddMatch(mapped)
+			w.pending++
+			if w.pending >= 4096 {
+				w.local = agg.Publish(ctx.Thread, w.local)
+				w.pending = 0
+			}
+		}
+		if _, err := core.Run(g, q, cb, opts); err != nil {
+			agg.Close()
+			return nil, err
+		}
+	}
+	for i, w := range workers {
+		agg.Flush(i, w.local)
+	}
+	return agg.Close(), nil
+}
+
+// labelRemap caches, for one (query pattern, discovered labeling) pair,
+// the canonical labeled pattern and the permutation from query vertices
+// to canonical positions. Folding matches through the permutation lets
+// isomorphic labelings discovered from different queries share domains.
+type labelRemap struct {
+	canonical *pattern.Pattern
+	code      string
+	perm      []int
+}
+
+func newLabelRemap(g *graph.Graph, q *pattern.Pattern, mapping []uint32) *labelRemap {
+	labeled := q.Clone()
+	for _, v := range q.RegularVertices() {
+		labeled.SetLabel(v, pattern.Label(g.Label(mapping[v])))
+	}
+	code, perm := labeled.CanonicalForm()
+	return &labelRemap{canonical: labeled.Renumber(perm), code: code, perm: perm}
+}

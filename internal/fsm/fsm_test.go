@@ -1,0 +1,163 @@
+package fsm
+
+import (
+	"testing"
+
+	"peregrine/internal/core"
+	"peregrine/internal/gen"
+	"peregrine/internal/graph"
+	"peregrine/internal/pattern"
+)
+
+func labeledPath() *graph.Graph {
+	// Path A-B-A-B-A: supports for the A-B edge pattern are easy to
+	// compute by hand.
+	b := graph.NewBuilder()
+	for i := uint32(0); i < 4; i++ {
+		b.AddEdge(i, i+1)
+	}
+	for i := uint32(0); i <= 4; i++ {
+		b.SetLabel(i, uint32(i%2)) // 0,1,0,1,0
+	}
+	return b.Build()
+}
+
+func TestMineSingleEdgeLevel(t *testing.T) {
+	g := labeledPath()
+	// Edges: all four are (A,B)-labeled. MNI domains: A side {0,2,4}
+	// (three vertices), B side {1,3} -> support 2.
+	res, err := Mine(g, 1, 2, core.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) != 1 {
+		t.Fatalf("frequent = %v, want 1 pattern", res.Frequent)
+	}
+	if res.Frequent[0].Support != 2 {
+		t.Fatalf("support = %d, want 2", res.Frequent[0].Support)
+	}
+	// At threshold 3 nothing survives.
+	res, err = Mine(g, 1, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) != 0 {
+		t.Fatalf("expected nothing frequent at support 3, got %v", res.Frequent)
+	}
+}
+
+func TestMineWedgeLevel(t *testing.T) {
+	g := labeledPath()
+	// 2-edge patterns: wedges A-B-A (center B: vertices 1,3 -> two
+	// wedges 0-1-2, 2-3-4) and B-A-B (center A: one wedge 1-2-3).
+	// A-B-A domains: center {1,3} (2), ends {0,2,4} (3) -> support 2.
+	// B-A-B domains: center {2} (1) -> support 1.
+	res, err := Mine(g, 2, 2, core.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) != 1 {
+		t.Fatalf("frequent 2-edge = %d patterns, want 1 (A-B-A)", len(res.Frequent))
+	}
+	f := res.Frequent[0]
+	if f.Support != 2 {
+		t.Fatalf("A-B-A support = %d, want 2", f.Support)
+	}
+	// The pattern must be a wedge with a uniquely-labeled center.
+	if f.Pattern.NumEdges() != 2 || f.Pattern.N() != 3 {
+		t.Fatalf("unexpected pattern shape: %v", f.Pattern)
+	}
+}
+
+func TestMineLevelStatsAndDomains(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 80, Edges: 200, Seed: 51, Labels: 2})
+	res, err := Mine(g, 2, 4, core.Options{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) == 0 {
+		t.Fatal("no level stats")
+	}
+	lvl1 := res.Levels[0]
+	if lvl1.Edges != 1 || lvl1.QueriesMatched != 1 {
+		t.Fatalf("level 1 stats: %+v", lvl1)
+	}
+	// Three labelings of a single edge over two labels.
+	if lvl1.LabeledDiscovered != 3 {
+		t.Fatalf("discovered %d single-edge labelings, want 3", lvl1.LabeledDiscovered)
+	}
+	if res.DomainBytes <= 0 {
+		t.Fatal("domain memory accounting missing")
+	}
+}
+
+func TestMineWithoutSymmetryBreakingAgrees(t *testing.T) {
+	// PRG-U mode revisits automorphic matches; domains are sets, so the
+	// frequent patterns and supports must be identical.
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 60, Edges: 150, Seed: 52, Labels: 2})
+	a, err := Mine(g, 2, 5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(g, 2, 5, core.Options{NoSymmetryBreaking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Frequent) != len(b.Frequent) {
+		t.Fatalf("PRG %d frequent vs PRG-U %d", len(a.Frequent), len(b.Frequent))
+	}
+	supports := func(fs []FrequentPattern) map[string]int {
+		m := make(map[string]int)
+		for _, f := range fs {
+			m[f.Pattern.CanonicalCode()] = f.Support
+		}
+		return m
+	}
+	sa, sb := supports(a.Frequent), supports(b.Frequent)
+	for code, s := range sa {
+		if sb[code] != s {
+			t.Fatalf("support mismatch for %q: %d vs %d", code, s, sb[code])
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	unlabeled := graph.FromEdges([]graph.Edge{{Src: 0, Dst: 1}})
+	if _, err := Mine(unlabeled, 2, 2, core.Options{}); err == nil {
+		t.Error("unlabeled graph accepted")
+	}
+	g := labeledPath()
+	if _, err := Mine(g, 0, 2, core.Options{}); err == nil {
+		t.Error("maxEdges 0 accepted")
+	}
+	if _, err := Mine(g, 2, 0, core.Options{}); err == nil {
+		t.Error("support 0 accepted")
+	}
+}
+
+func TestLabelRemapSharing(t *testing.T) {
+	// Two label vectors of the same query that are isomorphic as labeled
+	// patterns must canonicalize to the same code and share domains.
+	g := labeledPath()
+	q := pattern.Star(3) // wedge, wildcard labels
+	// Engine ids are degree-ordered; translate original path ids 0..4.
+	engine := make(map[uint32]uint32)
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		engine[g.OrigID(v)] = v
+	}
+	// Two wedges centered at original vertices 1 and 3: both discover
+	// labels (center B, ends A, A) and must share one canonical domain.
+	m1 := []uint32{engine[1], engine[0], engine[2]}
+	rm1 := newLabelRemap(g, q, m1)
+	m2 := []uint32{engine[3], engine[2], engine[4]}
+	rm2 := newLabelRemap(g, q, m2)
+	if rm1.code != rm2.code {
+		t.Fatalf("isomorphic labelings got distinct codes")
+	}
+	// A differently-labeled wedge (center A) must get a different code.
+	m3 := []uint32{engine[2], engine[1], engine[3]}
+	rm3 := newLabelRemap(g, q, m3)
+	if rm3.code == rm1.code {
+		t.Fatalf("distinct labelings share a code")
+	}
+}

@@ -1,0 +1,284 @@
+// Package graph provides the data-graph substrate for the Peregrine
+// matching engine: a compressed sparse row (CSR) representation with
+// sorted adjacency lists, optional vertex labels, and a degree-based
+// vertex ordering.
+//
+// Vertex identifiers are dense uint32 values in [0, NumVertices).
+// After Build, ids are assigned in non-decreasing degree order, i.e.
+// u < v implies deg(u) <= deg(v). This property is load-bearing: the
+// engine's symmetry-breaking partial orders compare data-vertex ids
+// directly, and the paper's §5.2 load-balancing scheme ("order vertices
+// by their degree") becomes a simple integer comparison.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoLabel marks an unlabeled vertex.
+const NoLabel uint32 = 0xFFFFFFFF
+
+// Graph is an immutable undirected data graph in CSR form.
+//
+// The zero value is an empty graph. Construct instances with Build,
+// FromEdges, or the loaders in this package.
+type Graph struct {
+	offsets []uint64 // len = n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []uint32 // concatenated sorted adjacency lists
+	labels  []uint32 // per-vertex label, nil when the graph is unlabeled
+	origID  []uint32 // new id -> original id from the input
+	numEdge uint64   // number of undirected edges
+
+	labelCount int // number of distinct labels (0 when unlabeled)
+}
+
+// NumVertices returns |V(G)|.
+func (g *Graph) NumVertices() uint32 { return uint32(len(g.offsets) - 1) }
+
+// NumEdges returns |E(G)| counting each undirected edge once.
+func (g *Graph) NumEdges() uint64 { return g.numEdge }
+
+// Labeled reports whether the graph carries vertex labels.
+func (g *Graph) Labeled() bool { return g.labels != nil }
+
+// NumLabels returns the number of distinct labels, or 0 for unlabeled graphs.
+func (g *Graph) NumLabels() int { return g.labelCount }
+
+// Label returns the label of v, or NoLabel for unlabeled graphs.
+func (g *Graph) Label(v uint32) uint32 {
+	if g.labels == nil {
+		return NoLabel
+	}
+	return g.labels[v]
+}
+
+// Adj returns the sorted adjacency list of v. The returned slice is a
+// view into the graph's storage and must not be modified.
+func (g *Graph) Adj(v uint32) []uint32 { return g.adj[g.offsets[v]:g.offsets[v+1]] }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v uint32) uint32 { return uint32(g.offsets[v+1] - g.offsets[v]) }
+
+// OrigID maps a degree-ordered vertex id back to the id used in the input.
+func (g *Graph) OrigID(v uint32) uint32 {
+	if g.origID == nil {
+		return v
+	}
+	return g.origID[v]
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists, using
+// binary search on the smaller adjacency list.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	return contains(g.Adj(u), v)
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() uint32 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	// Ids are degree-ordered, so the last vertex has maximum degree.
+	return g.Degree(n - 1)
+}
+
+// AvgDegree returns the average vertex degree.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(2*g.numEdge) / float64(n)
+}
+
+// String summarizes the graph for diagnostics.
+func (g *Graph) String() string {
+	if g.Labeled() {
+		return fmt.Sprintf("graph{V=%d E=%d L=%d}", g.NumVertices(), g.NumEdges(), g.NumLabels())
+	}
+	return fmt.Sprintf("graph{V=%d E=%d}", g.NumVertices(), g.NumEdges())
+}
+
+// contains reports whether sorted slice s contains x.
+func contains(s []uint32, x uint32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// Contains reports whether the sorted slice s contains x. It is exported
+// for use by the matching engine and baselines operating on Adj views.
+func Contains(s []uint32, x uint32) bool { return contains(s, x) }
+
+// Edge is an undirected edge between original (input) vertex ids.
+type Edge struct {
+	Src, Dst uint32
+}
+
+// Builder accumulates edges and labels, then produces a Graph with
+// degree-ordered vertex ids. Duplicate edges and self-loops are dropped.
+type Builder struct {
+	edges  []Edge
+	labels map[uint32]uint32
+	maxID  uint32
+	hasAny bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[uint32]uint32)}
+}
+
+// AddEdge records the undirected edge (u, v) between original ids.
+// Self-loops are ignored.
+func (b *Builder) AddEdge(u, v uint32) {
+	if u == v {
+		return
+	}
+	b.edges = append(b.edges, Edge{u, v})
+	if u > b.maxID {
+		b.maxID = u
+	}
+	if v > b.maxID {
+		b.maxID = v
+	}
+	b.hasAny = true
+}
+
+// SetLabel records the label of original vertex id u.
+func (b *Builder) SetLabel(u uint32, label uint32) {
+	b.labels[u] = label
+	if u > b.maxID {
+		b.maxID = u
+	}
+	b.hasAny = true
+}
+
+// Build finalizes the graph: duplicate edges are removed, vertices are
+// renamed so ids are sorted by (deduplicated degree, original id), and
+// adjacency lists are sorted.
+func (b *Builder) Build() *Graph {
+	n := uint32(0)
+	if b.hasAny {
+		n = b.maxID + 1
+	}
+	// Pass 1: scatter edges into per-vertex lists keyed by original id,
+	// then sort and deduplicate to obtain true degrees.
+	cnt := make([]uint64, n+1)
+	for _, e := range b.edges {
+		cnt[e.Src]++
+		cnt[e.Dst]++
+	}
+	offsets := make([]uint64, n+1)
+	var run uint64
+	for v := uint32(0); v < n; v++ {
+		offsets[v] = run
+		run += cnt[v]
+	}
+	offsets[n] = run
+	raw := make([]uint32, run)
+	fill := make([]uint64, n)
+	copy(fill, offsets[:n])
+	for _, e := range b.edges {
+		raw[fill[e.Src]] = e.Dst
+		fill[e.Src]++
+		raw[fill[e.Dst]] = e.Src
+		fill[e.Dst]++
+	}
+	deg := make([]uint32, n)     // deduplicated degree per original id
+	lists := make([][]uint32, n) // deduplicated neighbors per original id
+	for v := uint32(0); v < n; v++ {
+		list := raw[offsets[v]:offsets[v+1]]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		w := 0
+		for i, x := range list {
+			if i > 0 && x == list[i-1] {
+				continue
+			}
+			list[w] = x
+			w++
+		}
+		lists[v] = list[:w]
+		deg[v] = uint32(w)
+	}
+
+	// Pass 2: rename by (degree, original id) and rebuild CSR.
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if deg[a] != deg[c] {
+			return deg[a] < deg[c]
+		}
+		return a < c
+	})
+	rename := make([]uint32, n) // original id -> new id
+	for newID, o := range order {
+		rename[o] = uint32(newID)
+	}
+
+	g := &Graph{origID: order}
+	newOffsets := make([]uint64, n+1)
+	var w uint64
+	for v := uint32(0); v < n; v++ {
+		newOffsets[v] = w
+		w += uint64(deg[order[v]])
+	}
+	newOffsets[n] = w
+	adj := make([]uint32, w)
+	var edges uint64
+	for v := uint32(0); v < n; v++ {
+		dst := adj[newOffsets[v]:newOffsets[v+1]]
+		src := lists[order[v]]
+		for i, o := range src {
+			dst[i] = rename[o]
+		}
+		sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+		edges += uint64(len(dst))
+	}
+	g.offsets = newOffsets
+	g.adj = adj
+	g.numEdge = edges / 2
+
+	if len(b.labels) > 0 {
+		labels := make([]uint32, n)
+		for i := range labels {
+			labels[i] = NoLabel
+		}
+		distinct := make(map[uint32]struct{})
+		for orig, l := range b.labels {
+			labels[rename[orig]] = l
+			distinct[l] = struct{}{}
+		}
+		g.labels = labels
+		g.labelCount = len(distinct)
+	}
+	return g
+}
+
+// FromEdges builds an unlabeled graph from an edge list of original ids.
+func FromEdges(edges []Edge) *Graph {
+	b := NewBuilder()
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return b.Build()
+}
+
+// FromAdjacency builds a graph from an adjacency-list map of original ids;
+// useful in tests.
+func FromAdjacency(adj map[uint32][]uint32) *Graph {
+	b := NewBuilder()
+	for u, ns := range adj {
+		for _, v := range ns {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 0) // duplicate
+	b.AddEdge(3, 3) // self-loop, dropped
+	g := b.Build()
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	for v := uint32(0); v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+}
+
+func TestDegreeOrderInvariant(t *testing.T) {
+	// Ids must be sorted by degree after Build, whatever the input order.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		b := NewBuilder()
+		n := 30 + rng.Intn(50)
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		g := b.Build()
+		for v := uint32(0); v+1 < g.NumVertices(); v++ {
+			if g.Degree(v) > g.Degree(v+1) {
+				t.Fatalf("degree order violated: deg(%d)=%d > deg(%d)=%d",
+					v, g.Degree(v), v+1, g.Degree(v+1))
+			}
+		}
+	}
+}
+
+func TestAdjacencySortedAndSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := NewBuilder()
+	for i := 0; i < 300; i++ {
+		b.AddEdge(uint32(rng.Intn(64)), uint32(rng.Intn(64)))
+	}
+	g := b.Build()
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		adj := g.Adj(v)
+		if !sort.SliceIsSorted(adj, func(i, j int) bool { return adj[i] < adj[j] }) {
+			t.Fatalf("Adj(%d) not sorted: %v", v, adj)
+		}
+		for _, u := range adj {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d) not symmetric", v, u)
+			}
+		}
+	}
+}
+
+func TestHasEdgeMatchesAdjacency(t *testing.T) {
+	f := func(edges []uint16) bool {
+		b := NewBuilder()
+		for i := 0; i+1 < len(edges); i += 2 {
+			b.AddEdge(uint32(edges[i]%100), uint32(edges[i+1]%100))
+		}
+		g := b.Build()
+		n := g.NumVertices()
+		for v := uint32(0); v < n; v++ {
+			present := make(map[uint32]bool)
+			for _, u := range g.Adj(v) {
+				present[u] = true
+			}
+			for u := uint32(0); u < n; u++ {
+				if g.HasEdge(v, u) != present[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrigIDRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(10, 20)
+	b.AddEdge(20, 30)
+	b.AddEdge(20, 40)
+	g := b.Build()
+	// Original id 20 has degree 3 and must map to the highest new id.
+	hub := g.NumVertices() - 1
+	if g.OrigID(hub) != 20 {
+		t.Fatalf("OrigID(%d) = %d, want 20", hub, g.OrigID(hub))
+	}
+}
+
+func TestLabels(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(0, 1)
+	b.SetLabel(0, 7)
+	b.SetLabel(1, 9)
+	g := b.Build()
+	if !g.Labeled() {
+		t.Fatal("graph should be labeled")
+	}
+	if g.NumLabels() != 2 {
+		t.Fatalf("NumLabels = %d, want 2", g.NumLabels())
+	}
+	// Find the vertex whose original id is 0.
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		want := uint32(7)
+		if g.OrigID(v) == 1 {
+			want = 9
+		}
+		if g.Label(v) != want {
+			t.Fatalf("Label(orig %d) = %d, want %d", g.OrigID(v), g.Label(v), want)
+		}
+	}
+}
+
+func TestUnlabeledLabelIsNoLabel(t *testing.T) {
+	g := FromEdges([]Edge{{Src: 0, Dst: 1}})
+	if g.Labeled() {
+		t.Fatal("should be unlabeled")
+	}
+	if g.Label(0) != NoLabel {
+		t.Fatalf("Label = %d, want NoLabel", g.Label(0))
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	src := `# comment
+v 0 5
+v 1 6
+0 1
+1 2
+2 0
+`
+	g, err := ReadEdgeList(bytes.NewBufferString(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("parsed %v", g)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %v vs %v", g, g2)
+	}
+	// Labels must survive the round trip (compared via original ids).
+	labelsOf := func(gr *Graph) map[uint32]uint32 {
+		m := make(map[uint32]uint32)
+		for v := uint32(0); v < gr.NumVertices(); v++ {
+			if l := gr.Label(v); l != NoLabel {
+				m[gr.OrigID(v)] = l
+			}
+		}
+		return m
+	}
+	if !reflect.DeepEqual(labelsOf(g), labelsOf(g2)) {
+		t.Fatalf("labels changed: %v vs %v", labelsOf(g), labelsOf(g2))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{
+		"0",            // too few fields
+		"a b",          // not numbers
+		"v 1",          // short label line
+		"v x 1",        // bad label id
+		"0 4294967296", // out of uint32 range
+	} {
+		if _, err := ReadEdgeList(bytes.NewBufferString(bad)); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder().Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: %v", g)
+	}
+	if g.MaxDegree() != 0 || g.AvgDegree() != 0 {
+		t.Fatal("empty graph degree stats should be zero")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := FromAdjacency(map[uint32][]uint32{
+		0: {1, 2, 3},
+		1: {2},
+	})
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	if got := g.AvgDegree(); got != 2.0 {
+		t.Fatalf("AvgDegree = %v, want 2.0", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := []uint32{1, 3, 5, 9}
+	for _, x := range s {
+		if !Contains(s, x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []uint32{0, 2, 4, 10} {
+		if Contains(s, x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Error("Contains(nil, 1) = true")
+	}
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadEdgeList reads a whitespace-separated edge-list file.
+//
+// Format, one record per line:
+//
+//	src dst          – an undirected edge
+//	# comment        – ignored, as are blank lines
+//	v id label       – vertex label assignment (optional)
+//
+// Lines beginning with '%' (Matrix Market style) are also ignored.
+func LoadEdgeList(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// ReadEdgeList parses the edge-list format from r. See LoadEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "v" {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'v id label', got %q", lineNo, line)
+			}
+			id, err := parseU32(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			l, err := parseU32(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			b.SetLabel(id, l)
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst', got %q", lineNo, line)
+		}
+		u, err := parseU32(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		v, err := parseU32(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes g in the format understood by ReadEdgeList,
+// using original vertex ids.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	if g.Labeled() {
+		for v := uint32(0); v < n; v++ {
+			if l := g.Label(v); l != NoLabel {
+				if _, err := fmt.Fprintf(bw, "v %d %d\n", g.OrigID(v), l); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for v := uint32(0); v < n; v++ {
+		for _, u := range g.Adj(v) {
+			if v < u { // each undirected edge once
+				if _, err := fmt.Fprintf(bw, "%d %d\n", g.OrigID(v), g.OrigID(u)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveEdgeList writes g to path in edge-list format.
+func SaveEdgeList(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return fmt.Errorf("graph: %w", err)
+	}
+	return f.Close()
+}
+
+func parseU32(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(v), nil
+}

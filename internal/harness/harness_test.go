@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// The harness tests run the cheapest experiments end-to-end and assert
+// structural properties of the rows: systems agree on counts, failures
+// are marked, and the paper's qualitative orderings hold.
+
+func testCfg() Config {
+	return Config{Scale: 1, Budget: 1_000_000, Deadline: 5 * time.Second}
+}
+
+func TestFig1RowsConsistent(t *testing.T) {
+	rows := Fig1(testCfg(), false)
+	if len(rows) != 4 {
+		t.Fatalf("fig1b rows = %d, want 4", len(rows))
+	}
+	counts := make(map[string]uint64)
+	explored := make(map[string]float64)
+	for _, r := range rows {
+		if r.Failed != "" {
+			continue
+		}
+		counts[r.System] = r.Count
+		explored[r.System] = r.Metrics["explored"]
+	}
+	// Every system that finished must agree on the answer.
+	for sys, c := range counts {
+		if c != counts["PRG"] {
+			t.Errorf("%s count %d != PRG count %d", sys, c, counts["PRG"])
+		}
+	}
+	// The Figure 1 shape: pattern-oblivious systems explore far more
+	// than Peregrine, and RStream explores the most.
+	if explored["ABQ"] <= 10*explored["PRG"] {
+		t.Errorf("ABQ explored %.0f, expected ≫ PRG %.0f", explored["ABQ"], explored["PRG"])
+	}
+	if explored["RS"] <= explored["ABQ"] {
+		t.Errorf("RS explored %.0f, expected > ABQ %.0f", explored["RS"], explored["ABQ"])
+	}
+	// Peregrine performs no canonicality or isomorphism checks.
+	for _, r := range rows {
+		if r.System == "PRG" {
+			if r.Metrics["canonicality"] != 0 || r.Metrics["isomorphism"] != 0 {
+				t.Error("PRG must perform zero canonicality/isomorphism checks")
+			}
+		}
+	}
+}
+
+func TestTable5RowsConsistent(t *testing.T) {
+	rows := Table5(testCfg())
+	byKey := make(map[string]map[string]uint64)
+	for _, r := range rows {
+		k := r.Dataset + "|" + r.App
+		if byKey[k] == nil {
+			byKey[k] = make(map[string]uint64)
+		}
+		byKey[k][r.System] = r.Count
+	}
+	for k, systems := range byKey {
+		if systems["PRG"] != systems["GM"] {
+			t.Errorf("%s: PRG=%d GM=%d", k, systems["PRG"], systems["GM"])
+		}
+	}
+}
+
+func TestTable6RowsBounded(t *testing.T) {
+	cfg := testCfg()
+	cfg.Deadline = 2 * time.Second
+	start := time.Now()
+	rows := Table6(cfg)
+	if len(rows) != 12 {
+		t.Fatalf("table6 rows = %d, want 12", len(rows))
+	}
+	// 12 cells, each bounded by ~2s: the whole table must respect the
+	// deadline budget (generous multiplier for scheduling noise).
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Fatalf("table6 took %v despite 2s per-cell deadline", elapsed)
+	}
+	for _, r := range rows {
+		if r.App == "anti-vertex p7" && r.Failed == "" && r.Count == 0 && r.Dataset != "patents" {
+			t.Logf("note: %s has zero maximal triangles", r.Dataset)
+		}
+	}
+}
+
+func TestBenchDatasetsShaped(t *testing.T) {
+	mico := BenchDataset("mico", 1)
+	orkut := BenchDataset("orkut", 1)
+	patents := BenchDataset("patents", 1)
+	friendster := BenchDataset("friendster", 1)
+	if !mico.Labeled() || orkut.Labeled() {
+		t.Error("mico labeled, orkut unlabeled — as in the paper")
+	}
+	if !(orkut.AvgDegree() > mico.AvgDegree()) {
+		t.Errorf("orkut (%.1f) must be denser than mico (%.1f)", orkut.AvgDegree(), mico.AvgDegree())
+	}
+	if !(patents.AvgDegree() < mico.AvgDegree()) {
+		t.Errorf("patents (%.1f) must be sparser than mico (%.1f)", patents.AvgDegree(), mico.AvgDegree())
+	}
+	if friendster.NumVertices() <= orkut.NumVertices() {
+		t.Error("friendster must be the largest dataset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown dataset must panic")
+		}
+	}()
+	BenchDataset("nope", 1)
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{Experiment: "t", App: "a", Dataset: "d", System: "s", Seconds: 1.5, Count: 7}
+	if r.String() == "" {
+		t.Fatal("empty row string")
+	}
+	r.Failed = "oom"
+	if got := r.String(); got == "" {
+		t.Fatal("empty failed row string")
+	}
+}

@@ -1,0 +1,136 @@
+// Package mni computes minimum node image (MNI) support for frequent
+// subgraph mining (paper §2.1, §3.2.1, §5.5). MNI is the support measure
+// most mining systems use because it is anti-monotonic and efficiently
+// computable: the support of a pattern is the minimum, over pattern
+// vertices v, of the number of distinct data vertices that appear as the
+// image of v in some match.
+//
+// Domains are "a vector of bitmaps representing the data vertices that
+// can be mapped to each pattern vertex" (§5.5), stored as compressed
+// bitmaps. One subtlety of a symmetry-broken engine: each unique match
+// is reported once, but MNI's definition quantifies over all
+// isomorphisms, including automorphic variants. Pattern vertices in the
+// same automorphism orbit have identical domains, so this package keeps
+// one bitmap per orbit and folds every matched data vertex of an orbit's
+// members into it — exact MNI with one write per unique match, which is
+// the §6.6 symmetry-breaking-for-FSM win.
+package mni
+
+import (
+	"peregrine/internal/bitset"
+	"peregrine/internal/pattern"
+)
+
+// Domain accumulates the MNI domain of one (labeled) pattern.
+type Domain struct {
+	pat     *pattern.Pattern
+	orbitOf []int            // vertex -> orbit representative
+	bitmaps []*bitset.Bitmap // indexed by orbit representative (nil elsewhere)
+	roots   []int            // distinct orbit representatives of regular vertices
+}
+
+// NewDomain prepares a domain for p. The orbit partition is computed
+// once per pattern; AddMatch is then O(regular vertices) bitmap inserts.
+func NewDomain(p *pattern.Pattern) *Domain {
+	orb := p.Orbits()
+	d := &Domain{pat: p, orbitOf: orb, bitmaps: make([]*bitset.Bitmap, p.N())}
+	seen := make(map[int]bool)
+	for _, v := range p.RegularVertices() {
+		r := orb[v]
+		if !seen[r] {
+			seen[r] = true
+			d.roots = append(d.roots, r)
+			d.bitmaps[r] = bitset.New()
+		}
+	}
+	return d
+}
+
+// Pattern returns the pattern this domain describes.
+func (d *Domain) Pattern() *pattern.Pattern { return d.pat }
+
+// AddMatch folds one match mapping (indexed by pattern vertex) into the
+// domain. Anti-vertex slots are ignored.
+func (d *Domain) AddMatch(mapping []uint32) {
+	for _, v := range d.pat.RegularVertices() {
+		d.bitmaps[d.orbitOf[v]].Add(mapping[v])
+	}
+}
+
+// Support returns the MNI support: the minimum domain cardinality over
+// pattern vertices (equivalently over orbits).
+func (d *Domain) Support() int {
+	minCard := -1
+	for _, r := range d.roots {
+		c := d.bitmaps[r].Cardinality()
+		if minCard < 0 || c < minCard {
+			minCard = c
+		}
+	}
+	if minCard < 0 {
+		return 0
+	}
+	return minCard
+}
+
+// DomainOf returns the bitmap of data vertices mappable to pattern
+// vertex v.
+func (d *Domain) DomainOf(v int) *bitset.Bitmap { return d.bitmaps[d.orbitOf[v]] }
+
+// Merge folds other (a domain of the same pattern, e.g. from another
+// worker thread) into d.
+func (d *Domain) Merge(other *Domain) {
+	for _, r := range d.roots {
+		d.bitmaps[r].Or(other.bitmaps[r])
+	}
+}
+
+// SizeBytes estimates the memory held by the domain's bitmaps, used for
+// the Figure 13 FSM memory accounting.
+func (d *Domain) SizeBytes() int {
+	n := 0
+	for _, r := range d.roots {
+		n += d.bitmaps[r].SizeBytes()
+	}
+	return n
+}
+
+// Table aggregates domains for many labeled patterns, keyed by canonical
+// code. It is the value type FSM threads accumulate locally and the
+// aggregator merges (§5.4).
+type Table struct {
+	ByCode map[string]*Domain
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{ByCode: make(map[string]*Domain)} }
+
+// Get returns the domain for code, creating it with mk on first use.
+func (t *Table) Get(code string, mk func() *Domain) *Domain {
+	d, ok := t.ByCode[code]
+	if !ok {
+		d = mk()
+		t.ByCode[code] = d
+	}
+	return d
+}
+
+// Merge folds src into t.
+func Merge(t, src *Table) {
+	for code, d := range src.ByCode {
+		if dst, ok := t.ByCode[code]; ok {
+			dst.Merge(d)
+		} else {
+			t.ByCode[code] = d
+		}
+	}
+}
+
+// SizeBytes estimates total bitmap memory across the table.
+func (t *Table) SizeBytes() int {
+	n := 0
+	for _, d := range t.ByCode {
+		n += d.SizeBytes()
+	}
+	return n
+}

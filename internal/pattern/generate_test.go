@@ -1,0 +1,103 @@
+package pattern
+
+import "testing"
+
+// TestExtendByEdgeClosure: every connected pattern with k+1 edges arises
+// from extending some k-edge pattern, and extension never produces
+// anything else — ExtendByEdge(GenerateAllEdgeInduced(k)) equals
+// GenerateAllEdgeInduced(k+1) as a set. This is the closure property
+// FSM's level-wise growth relies on: no frequent pattern can be missed
+// by growing one edge at a time.
+func TestExtendByEdgeClosure(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		from := GenerateAllEdgeInduced(k)
+		extended := ExtendByEdge(from)
+		want := GenerateAllEdgeInduced(k + 1)
+
+		codes := func(ps []*Pattern) map[string]bool {
+			m := make(map[string]bool, len(ps))
+			for _, p := range ps {
+				m[p.CanonicalCode()] = true
+			}
+			return m
+		}
+		got, exp := codes(extended), codes(want)
+		for c := range exp {
+			if !got[c] {
+				t.Errorf("k=%d: %d+1-edge pattern unreachable by extension", k, k)
+			}
+		}
+		for c := range got {
+			if !exp[c] {
+				t.Errorf("k=%d: extension produced a pattern outside the %d-edge set", k, k+1)
+			}
+		}
+		if len(got) != len(exp) {
+			t.Errorf("k=%d: |extended|=%d |generated|=%d", k, len(got), len(exp))
+		}
+	}
+}
+
+// TestExtendByVertexClosure: extending all k-vertex patterns by one
+// vertex yields exactly the connected (k+1)-vertex patterns that have a
+// non-cut vertex... in fact every connected graph on k+1 vertices has a
+// vertex whose removal keeps it connected (any leaf of a spanning tree),
+// so the extension covers the full (k+1)-vertex set.
+func TestExtendByVertexClosure(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		from := GenerateAllVertexInduced(k)
+		extended := ExtendByVertex(from)
+		want := GenerateAllVertexInduced(k + 1)
+		got := make(map[string]bool)
+		for _, p := range extended {
+			got[p.CanonicalCode()] = true
+		}
+		for _, p := range want {
+			if !got[p.CanonicalCode()] {
+				t.Errorf("k=%d: %v unreachable by vertex extension", k, p)
+			}
+		}
+		// Note: ExtendByVertex output is exactly the (k+1)-vertex set
+		// here because the new vertex connects to any non-empty subset.
+		if len(extended) != len(want) {
+			t.Errorf("k=%d: |extended|=%d, |generated|=%d", k, len(extended), len(want))
+		}
+	}
+}
+
+// TestGeneratorsProduceValidPatterns: everything generated must pass
+// Validate and have the advertised size.
+func TestGeneratorsProduceValidPatterns(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		for _, p := range GenerateAllVertexInduced(k) {
+			if err := p.Validate(); err != nil {
+				t.Errorf("invalid generated pattern %v: %v", p, err)
+			}
+		}
+	}
+	for e := 1; e <= 5; e++ {
+		for _, p := range GenerateAllEdgeInduced(e) {
+			if err := p.Validate(); err != nil {
+				t.Errorf("invalid generated pattern %v: %v", p, err)
+			}
+		}
+	}
+}
+
+// TestExtendPreservesLabels: FSM extends labeled frequent patterns with
+// wildcard vertices; existing labels must survive.
+func TestExtendPreservesLabels(t *testing.T) {
+	p := MustParse("0-1 [0:3] [1:5]")
+	for _, q := range ExtendByEdge([]*Pattern{p}) {
+		labels := make(map[Label]int)
+		for v := 0; v < q.N(); v++ {
+			labels[q.LabelOf(v)]++
+		}
+		if labels[3] != 1 || labels[5] != 1 {
+			t.Errorf("extension lost labels: %v", q)
+		}
+		if q.N() == 3 && labels[Wildcard] != 1 {
+			t.Errorf("new vertex should be wildcard: %v", q)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a pattern from its textual form [L1]:
+//
+//	"0-1 1-2 2-0"          a triangle
+//	"0-1 0-2 1!2"          a wedge with an anti-edge between the endpoints
+//	"0-1 [0:5] [1:2]"      an edge with labeled endpoints
+//
+// Tokens are separated by whitespace. "u-v" adds a regular edge, "u!v" an
+// anti-edge, and "[u:l]" assigns label l to vertex u. Vertex ids must be
+// dense starting at 0; the pattern size is one plus the largest id seen.
+func Parse(s string) (*Pattern, error) {
+	tokens := strings.Fields(s)
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("pattern: empty specification")
+	}
+	type edge struct {
+		u, v int
+		k    EdgeKind
+	}
+	type labelAssign struct {
+		u int
+		l Label
+	}
+	var edges []edge
+	var labels []labelAssign
+	maxV := -1
+	for _, tok := range tokens {
+		switch {
+		case strings.HasPrefix(tok, "["):
+			body := strings.TrimSuffix(strings.TrimPrefix(tok, "["), "]")
+			parts := strings.SplitN(body, ":", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("pattern: bad label token %q", tok)
+			}
+			u, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("pattern: bad label token %q: %v", tok, err)
+			}
+			l, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("pattern: bad label token %q: %v", tok, err)
+			}
+			labels = append(labels, labelAssign{u, Label(l)})
+			if u > maxV {
+				maxV = u
+			}
+		case strings.ContainsRune(tok, '!'):
+			u, v, err := parsePair(tok, "!")
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, edge{u, v, Anti})
+			maxV = max(maxV, max(u, v))
+		case strings.ContainsRune(tok, '-'):
+			u, v, err := parsePair(tok, "-")
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, edge{u, v, Regular})
+			maxV = max(maxV, max(u, v))
+		default:
+			return nil, fmt.Errorf("pattern: unrecognized token %q", tok)
+		}
+	}
+	if maxV+1 > MaxVertices {
+		return nil, fmt.Errorf("pattern: %d vertices exceeds limit %d", maxV+1, MaxVertices)
+	}
+	p := New(maxV + 1)
+	for _, e := range edges {
+		if e.u == e.v {
+			return nil, fmt.Errorf("pattern: self-loop on %d", e.u)
+		}
+		p.setKind(e.u, e.v, e.k)
+	}
+	for _, la := range labels {
+		p.SetLabel(la.u, la.l)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for tests and package-level pattern tables; it
+// panics on malformed input.
+func MustParse(s string) *Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parsePair(tok, sep string) (int, int, error) {
+	parts := strings.SplitN(tok, sep, 2)
+	u, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("pattern: bad edge token %q: %v", tok, err)
+	}
+	v, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("pattern: bad edge token %q: %v", tok, err)
+	}
+	if u < 0 || v < 0 {
+		return 0, 0, fmt.Errorf("pattern: negative vertex in %q", tok)
+	}
+	return u, v, nil
+}
+
+// Load reads patterns from a file, one pattern per line, in the format
+// accepted by Parse [L1]. Blank lines and '#' comments are skipped.
+func Load(path string) ([]*Pattern, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pattern: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read parses one pattern per line from r.
+func Read(r io.Reader) ([]*Pattern, error) {
+	var out []*Pattern
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pattern: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,312 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"peregrine/internal/pattern"
+)
+
+func mustPlan(t *testing.T, p *pattern.Pattern) *Plan {
+	t.Helper()
+	pl, err := New(p, Options{})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	return pl
+}
+
+func TestBreakSymmetriesLeavesIdentityOnly(t *testing.T) {
+	// After applying the conditions as constraints, the only automorphism
+	// consistent with them must be the identity.
+	pats := []*pattern.Pattern{
+		pattern.Clique(3),
+		pattern.Clique(4),
+		pattern.Star(4),
+		pattern.Chain(4),
+		pattern.Cycle(4),
+		pattern.Cycle(5),
+		pattern.MustParse("0-1 1-2 2-3 3-0 0-2"),
+	}
+	for _, p := range pats {
+		conds := BreakSymmetries(p)
+		count := 0
+		for _, a := range p.Automorphisms() {
+			ok := true
+			for _, c := range conds {
+				// An automorphism "satisfies the ordering" if it maps the
+				// constraint consistently: applying it must not invert any
+				// condition pair (Grochow-Kellis fixed-point criterion).
+				if a[c.Less] == c.Greater && a[c.Greater] == c.Less {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				identityConsistent := true
+				for _, c := range conds {
+					if !condOrderPreserved(a, conds, c) {
+						identityConsistent = false
+						break
+					}
+				}
+				if identityConsistent {
+					count++
+				}
+			}
+		}
+		if count < 1 {
+			t.Errorf("pattern %v: no automorphism satisfies the conditions", p)
+		}
+	}
+}
+
+// condOrderPreserved checks that automorphism a is consistent with the
+// partial order: there is an assignment of distinct integers to vertices
+// satisfying conds both before and after applying a. For the minimal
+// check here we verify a doesn't map any Less/Greater pair to a pair
+// ordered the other way by some condition.
+func condOrderPreserved(a []int, conds []Cond, c Cond) bool {
+	for _, d := range conds {
+		if a[c.Less] == d.Greater && a[c.Greater] == d.Less {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBreakSymmetriesTriangle(t *testing.T) {
+	conds := BreakSymmetries(pattern.Clique(3))
+	// A triangle needs a total order: 2 pivot rounds, 3 conditions total
+	// (0<1, 0<2 then 1<2) or equivalent.
+	if len(conds) != 3 {
+		t.Fatalf("triangle conditions = %v, want 3 conditions", conds)
+	}
+}
+
+func TestBreakSymmetriesChain(t *testing.T) {
+	conds := BreakSymmetries(pattern.Chain(4))
+	// Path reversal is the only symmetry: one condition suffices.
+	if len(conds) != 1 {
+		t.Fatalf("chain conditions = %v, want exactly 1", conds)
+	}
+}
+
+func TestBreakSymmetriesAsymmetric(t *testing.T) {
+	// The paw (triangle + pendant) still has one symmetry (the two
+	// triangle vertices not attached to the tail); a labeled edge with
+	// distinct labels has none.
+	conds := BreakSymmetries(pattern.MustParse("0-1 [0:1] [1:2]"))
+	if len(conds) != 0 {
+		t.Fatalf("asymmetric pattern got conditions %v", conds)
+	}
+}
+
+func TestBreakSymmetriesLargeClique(t *testing.T) {
+	// 14-clique: must terminate quickly with a full total order
+	// (13+12+...+1 = 91 conditions) without enumerating 14!.
+	conds := BreakSymmetries(pattern.Clique(14))
+	if len(conds) != 91 {
+		t.Fatalf("14-clique conditions = %d, want 91", len(conds))
+	}
+}
+
+func TestMinConnectedVertexCover(t *testing.T) {
+	cases := []struct {
+		p    *pattern.Pattern
+		size int
+	}{
+		{pattern.Chain(2), 1},
+		{pattern.Star(4), 1}, // the center covers all edges
+		{pattern.Clique(3), 2},
+		{pattern.Clique(4), 3},
+		{pattern.Chain(4), 2},
+		// C4's plain vertex cover is {0,2}, but those are not adjacent:
+		// the minimum connected cover has 3 vertices.
+		{pattern.Cycle(4), 3},
+		{pattern.MustParse("0-1 1-2 2-3 3-0 0-2"), 2}, // diamond: the chord endpoints
+	}
+	for _, c := range cases {
+		cover, err := MinConnectedVertexCover(c.p)
+		if err != nil {
+			t.Fatalf("%v: %v", c.p, err)
+		}
+		if len(cover) != c.size {
+			t.Errorf("cover of %v = %v, want size %d", c.p, cover, c.size)
+		}
+		// Verify it actually covers all regular edges.
+		in := make(map[int]bool)
+		for _, v := range cover {
+			in[v] = true
+		}
+		for u := 0; u < c.p.N(); u++ {
+			for v := u + 1; v < c.p.N(); v++ {
+				if c.p.HasEdge(u, v) && !in[u] && !in[v] {
+					t.Errorf("cover %v misses edge (%d,%d) of %v", cover, u, v, c.p)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverIncludesAntiEdgeEndpoint(t *testing.T) {
+	// §4.2: an anti-edge must have an endpoint in the cover so its
+	// adjacency list is available for the set difference. For the wedge
+	// with anti-edge between endpoints, the center alone no longer
+	// suffices.
+	p := pattern.MustParse("0-1 0-2 1!2")
+	cover, err := MinConnectedVertexCover(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has12 := false
+	for _, v := range cover {
+		if v == 1 || v == 2 {
+			has12 = true
+		}
+	}
+	if !has12 {
+		t.Fatalf("cover %v does not cover the anti-edge", cover)
+	}
+}
+
+func TestAntiVertexExcludedFromCore(t *testing.T) {
+	// §4.3: anti-vertices do not impact the core.
+	p := pattern.Clique(3)
+	a := p.AddVertex()
+	for v := 0; v < 3; v++ {
+		p.AddAntiEdge(v, a)
+	}
+	pl := mustPlan(t, p)
+	for _, v := range pl.Core {
+		if v == a {
+			t.Fatalf("anti-vertex %d in core %v", a, pl.Core)
+		}
+	}
+	if len(pl.Checks) != 1 || pl.Checks[0].V != a {
+		t.Fatalf("anti-vertex check missing: %+v", pl.Checks)
+	}
+	if got := len(pl.Checks[0].Nbrs); got != 3 {
+		t.Fatalf("anti-vertex check neighbors = %d, want 3", got)
+	}
+}
+
+func TestMatchingOrdersCliqueIsSingle(t *testing.T) {
+	// A clique's core is totally ordered: exactly one matching order with
+	// exactly one sequence.
+	pl := mustPlan(t, pattern.Clique(4))
+	if len(pl.Orders) != 1 {
+		t.Fatalf("clique matching orders = %d, want 1", len(pl.Orders))
+	}
+	if len(pl.Orders[0].Seqs) != 1 {
+		t.Fatalf("clique sequences = %d, want 1", len(pl.Orders[0].Seqs))
+	}
+}
+
+func TestMatchingOrderVisitsHighToLowConnected(t *testing.T) {
+	for _, p := range []*pattern.Pattern{
+		pattern.Clique(4), pattern.Cycle(4), pattern.Chain(4),
+		pattern.MustParse("0-1 1-2 2-3 3-0 0-2"),
+	} {
+		pl := mustPlan(t, p)
+		for _, mo := range pl.Orders {
+			if mo.Visit[0] != mo.K-1 {
+				t.Errorf("order does not start at highest position: %v", mo.Visit)
+			}
+			if len(mo.Steps) != mo.K-1 {
+				t.Errorf("steps = %d, want %d", len(mo.Steps), mo.K-1)
+			}
+			for _, st := range mo.Steps {
+				if len(st.NbrVisited) == 0 {
+					t.Errorf("step for pos %d has no visited neighbors (disconnected traversal)", st.Pos)
+				}
+			}
+		}
+	}
+}
+
+func TestNonCoreStepsHaveCoreNeighbors(t *testing.T) {
+	for _, p := range []*pattern.Pattern{
+		pattern.Star(5), pattern.Clique(5), pattern.Cycle(5),
+		pattern.MustParse("0-1 0-2 1!2"),
+	} {
+		pl := mustPlan(t, p)
+		coreSet := make(map[int]bool)
+		for _, v := range pl.Core {
+			coreSet[v] = true
+		}
+		for _, st := range pl.NonCore {
+			if len(st.CoreNbrs) == 0 {
+				t.Errorf("non-core %d has no core neighbors (pattern %v)", st.V, p)
+			}
+			for _, u := range st.CoreNbrs {
+				if !coreSet[u] {
+					t.Errorf("non-core %d neighbor %d not in core", st.V, u)
+				}
+			}
+			for _, u := range st.CoreAnti {
+				if !coreSet[u] {
+					t.Errorf("non-core %d anti-neighbor %d not in core", st.V, u)
+				}
+			}
+		}
+	}
+}
+
+func TestNoSymmetryBreakingOption(t *testing.T) {
+	pl, err := New(pattern.Clique(3), Options{NoSymmetryBreaking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Conds) != 0 {
+		t.Fatalf("PRG-U plan has conditions: %v", pl.Conds)
+	}
+	// Without ordering, the 2-vertex core admits both sequences.
+	totalSeqs := 0
+	for _, mo := range pl.Orders {
+		totalSeqs += len(mo.Seqs)
+	}
+	if totalSeqs != 2 {
+		t.Fatalf("PRG-U triangle core sequences = %d, want 2", totalSeqs)
+	}
+}
+
+func TestPlanRejectsInvalidPatterns(t *testing.T) {
+	bad := pattern.New(3)
+	bad.AddEdge(0, 1) // vertex 2 isolated
+	if _, err := New(bad, Options{}); err == nil {
+		t.Error("plan accepted an invalid pattern")
+	}
+}
+
+func TestStepBoundsPointAtNearestPositions(t *testing.T) {
+	pl := mustPlan(t, pattern.Clique(4))
+	mo := pl.Orders[0]
+	for i, st := range mo.Steps {
+		// Visiting descending positions K-1, K-2, ...: each step's HiPos
+		// must be the smallest already-visited position above it.
+		wantHi := st.Pos + 1
+		if st.HiPos != wantHi {
+			t.Errorf("step %d: HiPos = %d, want %d", i, st.HiPos, wantHi)
+		}
+		if st.LoPos != -1 {
+			t.Errorf("step %d: LoPos = %d, want -1 (descending visit)", i, st.LoPos)
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	a := mustPlan(t, pattern.Cycle(5))
+	b := mustPlan(t, pattern.Cycle(5))
+	if !reflect.DeepEqual(a.Conds, b.Conds) || !reflect.DeepEqual(a.Core, b.Core) {
+		t.Fatal("plans differ between runs")
+	}
+	if len(a.Orders) != len(b.Orders) {
+		t.Fatal("matching order counts differ")
+	}
+	for i := range a.Orders {
+		if !reflect.DeepEqual(a.Orders[i].Seqs, b.Orders[i].Seqs) {
+			t.Fatalf("order %d sequences differ", i)
+		}
+	}
+}

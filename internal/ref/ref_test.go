@@ -1,0 +1,93 @@
+package ref
+
+import (
+	"testing"
+
+	"peregrine/internal/graph"
+	"peregrine/internal/pattern"
+)
+
+func triangleGraph() *graph.Graph {
+	return graph.FromEdges([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+}
+
+func TestCountAllTriangle(t *testing.T) {
+	g := triangleGraph()
+	// A triangle has 6 isomorphisms onto itself and 1 unique match.
+	if got := CountAll(g, pattern.Clique(3)); got != 6 {
+		t.Fatalf("CountAll = %d, want 6", got)
+	}
+	if got := CountUnique(g, pattern.Clique(3)); got != 1 {
+		t.Fatalf("CountUnique = %d, want 1", got)
+	}
+}
+
+func TestCountEdgeInducedVsVertexInduced(t *testing.T) {
+	// A 4-cycle with one chord: edge-induced C4 matches include the
+	// chorded square (1), vertex-induced do not.
+	g := graph.FromEdges([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}, {Src: 0, Dst: 2},
+	})
+	c4 := pattern.Cycle(4)
+	if got := CountUnique(g, c4); got != 1 {
+		t.Fatalf("edge-induced C4 count = %d, want 1", got)
+	}
+	if got := CountVertexInduced(g, c4); got != 0 {
+		t.Fatalf("vertex-induced C4 count = %d, want 0 (chord present)", got)
+	}
+}
+
+func TestAntiEdgeSemantics(t *testing.T) {
+	// Wedge with anti-edge between endpoints: only open wedges match.
+	g := graph.FromEdges([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, // open wedge at 1
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 3}, // triangle
+	})
+	open := pattern.MustParse("0-1 1-2 0!2")
+	// Wedge centered at vertex 1 matches with 2 automorphic variants;
+	// CountUnique folds them into 1. Triangle wedges all fail the
+	// anti-edge.
+	if got := CountUnique(g, open); got != 1 {
+		t.Fatalf("open wedge count = %d, want 1", got)
+	}
+}
+
+func TestAntiVertexSemantics(t *testing.T) {
+	// Maximal-edge pattern: an edge whose endpoints have no common
+	// neighbor. The triangle edge (all pairs share a neighbor) must not
+	// match; the pendant edge must.
+	g := graph.FromEdges([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, // triangle
+		{Src: 2, Dst: 3}, // pendant
+	})
+	p := pattern.MustParse("0-1 0!2 1!2")
+	if got := CountUnique(g, p); got != 1 {
+		t.Fatalf("edge-without-common-neighbor count = %d, want 1 (the pendant edge)", got)
+	}
+}
+
+func TestEnumerateStops(t *testing.T) {
+	g := triangleGraph()
+	calls := 0
+	Enumerate(g, pattern.Clique(3), func(m []uint32) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("Enumerate visited %d mappings after stop, want 1", calls)
+	}
+}
+
+func TestLabeledEnumeration(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetLabel(0, 5)
+	b.SetLabel(1, 6)
+	b.SetLabel(2, 5)
+	g := b.Build()
+	p := pattern.MustParse("0-1 [0:5] [1:6]")
+	if got := CountAll(g, p); got != 2 {
+		t.Fatalf("labeled edge isomorphisms = %d, want 2", got)
+	}
+}

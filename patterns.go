@@ -1,0 +1,69 @@
+package peregrine
+
+import "peregrine/internal/pattern"
+
+// This file reconstructs the evaluation patterns of Figure 9 (p1–p8).
+// The paper renders them as pictures only; these reconstructions keep
+// every documented property — sizes, which carry labels, which carry
+// structural constraints (p7: anti-vertex; p8: anti-edge), and the
+// relative hardness ordering observed in Tables 4–6 — and live in one
+// place so they can be swapped if a different reading of the figure is
+// preferred.
+
+// EvalPattern names one of the paper's evaluation patterns.
+type EvalPattern string
+
+// Evaluation pattern names (Figure 9).
+const (
+	P1 EvalPattern = "p1" // diamond: 4-cycle with a chord (chordal square)
+	P2 EvalPattern = "p2" // labeled triangle with a pendant vertex (G-Miner's query)
+	P3 EvalPattern = "p3" // tailed square: 4-cycle plus a pendant vertex
+	P4 EvalPattern = "p4" // house: 5-cycle with one chord
+	P5 EvalPattern = "p5" // bowtie: two triangles sharing a vertex
+	P6 EvalPattern = "p6" // near-clique: 5-clique minus one edge
+	P7 EvalPattern = "p7" // maximal triangle: triangle with a fully connected anti-vertex
+	P8 EvalPattern = "p8" // vertex-induced chordal square: diamond with an anti-edge diagonal
+)
+
+// NewEvalPattern constructs one of the Figure 9 patterns.
+func NewEvalPattern(name EvalPattern) *Pattern {
+	switch name {
+	case P1:
+		return pattern.MustParse("0-1 1-2 2-3 3-0 0-2")
+	case P2:
+		// Labels 1..4 as in §6.1: "we used labels on p2 for all the
+		// systems to enable direct comparison ... synthetic labels
+		// (integers 1-6)".
+		return pattern.MustParse("0-1 1-2 2-0 2-3 [0:1] [1:2] [2:3] [3:4]")
+	case P3:
+		return pattern.MustParse("0-1 1-2 2-3 3-0 0-4")
+	case P4:
+		return pattern.MustParse("0-1 1-2 2-3 3-4 4-0 1-4")
+	case P5:
+		return pattern.MustParse("0-1 1-2 2-0 2-3 3-4 4-2")
+	case P6:
+		p := pattern.Clique(5)
+		p.RemoveEdge(3, 4)
+		return p
+	case P7:
+		p := pattern.Clique(3)
+		a := p.AddVertex()
+		for v := 0; v < 3; v++ {
+			p.AddAntiEdge(v, a)
+		}
+		return p
+	case P8:
+		return pattern.MustParse("0-1 1-2 2-3 3-0 0-2 1!3")
+	default:
+		panic("peregrine: unknown evaluation pattern " + string(name))
+	}
+}
+
+// EvalPatterns returns all Figure 9 patterns in order.
+func EvalPatterns() map[EvalPattern]*Pattern {
+	out := make(map[EvalPattern]*Pattern, 8)
+	for _, n := range []EvalPattern{P1, P2, P3, P4, P5, P6, P7, P8} {
+		out[n] = NewEvalPattern(n)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package peregrine
+
+import (
+	"testing"
+
+	"peregrine/internal/gen"
+	"peregrine/internal/ref"
+)
+
+func smallLabeled(t testing.TB) *Graph {
+	return gen.ErdosRenyi(gen.ERConfig{Vertices: 60, Edges: 180, Seed: 21, Labels: 3})
+}
+
+func smallUnlabeled(t testing.TB) *Graph {
+	return gen.ErdosRenyi(gen.ERConfig{Vertices: 60, Edges: 180, Seed: 22})
+}
+
+func TestCountAgainstBruteForce(t *testing.T) {
+	g := smallUnlabeled(t)
+	for name, p := range EvalPatterns() {
+		p := p
+		if p.Labeled() {
+			continue
+		}
+		t.Run(string(name), func(t *testing.T) {
+			want := ref.CountUnique(g, p)
+			got, err := Count(g, p, WithThreads(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("Count(%s) = %d, brute force = %d", name, got, want)
+			}
+		})
+	}
+}
+
+func TestEvalPatternsValidate(t *testing.T) {
+	for name, p := range EvalPatterns() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("pattern %s invalid: %v", name, err)
+		}
+	}
+	if !NewEvalPattern(P2).Labeled() {
+		t.Error("p2 must be labeled")
+	}
+	if len(NewEvalPattern(P7).AntiVertices()) != 1 {
+		t.Error("p7 must contain one anti-vertex")
+	}
+	if NewEvalPattern(P8).NumAntiEdges() != 1 {
+		t.Error("p8 must contain one anti-edge")
+	}
+}
+
+func TestVertexInducedOptionMatchesTheorem31(t *testing.T) {
+	g := smallUnlabeled(t)
+	for _, p := range []*Pattern{GenerateCycle(4), GenerateStar(4), GenerateChain(4)} {
+		viaOption, err := Count(g, p, VertexInduced(), WithThreads(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.CountVertexInduced(g, p)
+		if viaOption != want {
+			t.Fatalf("vertex-induced count = %d, brute force = %d (pattern %v)", viaOption, want, p)
+		}
+	}
+}
+
+func TestMotifCountsSumToAllConnectedSets(t *testing.T) {
+	g := smallUnlabeled(t)
+	motifs, err := MotifCounts(g, 3, WithThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) != 2 {
+		t.Fatalf("3-motifs: got %d patterns, want 2 (wedge, triangle)", len(motifs))
+	}
+	var total uint64
+	for _, mc := range motifs {
+		want := ref.CountVertexInduced(g, mc.Pattern)
+		if mc.Count != want {
+			t.Errorf("motif %v count = %d, want %d", mc.Pattern, mc.Count, want)
+		}
+		total += mc.Count
+	}
+	if total == 0 {
+		t.Fatal("expected nonzero 3-motif count")
+	}
+}
+
+func TestMotifPatternCounts4(t *testing.T) {
+	// There are exactly 6 connected graphs on 4 vertices.
+	motifs, err := MotifCounts(smallUnlabeled(t), 4, WithThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) != 6 {
+		t.Fatalf("4-motifs: got %d patterns, want 6", len(motifs))
+	}
+}
+
+func TestCliqueCountMatchesBruteForce(t *testing.T) {
+	g := smallUnlabeled(t)
+	for k := 3; k <= 5; k++ {
+		got, err := CliqueCount(g, k, WithThreads(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.CountUnique(g, GenerateClique(k))
+		if got != want {
+			t.Fatalf("CliqueCount(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestCliqueExistence(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 200, Edges: 2500, Seed: 30})
+	ok, err := CliqueExists(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("triangle should exist in a dense random graph")
+	}
+	ok, err = CliqueExists(g, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("14-clique should not exist at this density")
+	}
+}
+
+func TestGlobalClusteringCoefficient(t *testing.T) {
+	// A triangle has clustering coefficient exactly 1.
+	tri := GraphFromEdges([][2]uint32{{0, 1}, {1, 2}, {2, 0}})
+	cc, err := GlobalClusteringCoefficient(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc != 1 {
+		t.Fatalf("triangle clustering coefficient = %v, want 1", cc)
+	}
+	// A star has no triangles: coefficient 0.
+	star := GraphFromEdges([][2]uint32{{0, 1}, {0, 2}, {0, 3}})
+	cc, err = GlobalClusteringCoefficient(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc != 0 {
+		t.Fatalf("star clustering coefficient = %v, want 0", cc)
+	}
+
+	g := smallUnlabeled(t)
+	exact, err := GlobalClusteringCoefficient(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := GlobalClusteringCoefficientExceeds(g, exact/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact > 0 && !above {
+		t.Fatalf("coefficient %v should exceed %v", exact, exact/2)
+	}
+	above, err = GlobalClusteringCoefficientExceeds(g, exact*2+0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above {
+		t.Fatalf("coefficient %v should not exceed %v", exact, exact*2+0.01)
+	}
+}
+
+func TestCountManyAndEdgeCount(t *testing.T) {
+	g := smallUnlabeled(t)
+	ec, err := EdgeCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec != g.NumEdges() {
+		t.Fatalf("EdgeCount = %d, NumEdges = %d", ec, g.NumEdges())
+	}
+	counts, err := CountMany(g, []*Pattern{GenerateClique(3), GenerateStar(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("CountMany returned %d results", len(counts))
+	}
+}
+
+func TestWithoutSymmetryBreakingCountsAutomorphisms(t *testing.T) {
+	g := smallUnlabeled(t)
+	p := GenerateClique(3)
+	unique, err := Count(g, p, WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Count(g, p, WithThreads(2), WithoutSymmetryBreaking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != unique*6 {
+		t.Fatalf("PRG-U triangle count = %d, want 6×%d", all, unique)
+	}
+}
+
+func TestLabeledMotifCounts(t *testing.T) {
+	g := smallLabeled(t)
+	counts, err := LabeledMotifCounts(g, 3, WithThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) == 0 {
+		t.Fatal("expected labeled 3-motifs")
+	}
+	// Sum over labelings must equal the unlabeled motif counts.
+	var labeledTotal uint64
+	for _, mc := range counts {
+		labeledTotal += mc.Count
+	}
+	unlabeled, err := MotifCounts(g, 3, WithThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unlabeledTotal uint64
+	for _, mc := range unlabeled {
+		unlabeledTotal += mc.Count
+	}
+	if labeledTotal != unlabeledTotal {
+		t.Fatalf("labeled motif total %d != unlabeled total %d", labeledTotal, unlabeledTotal)
+	}
+}
+
+func TestPlanForExposesStructure(t *testing.T) {
+	pl, err := PlanFor(NewEvalPattern(P1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Core) == 0 || len(pl.Orders) == 0 {
+		t.Fatalf("plan missing core/orders: %+v", pl)
+	}
+}
