@@ -1,0 +1,142 @@
+// Command peregrine-serve runs the pattern-mining query service: named
+// graphs are registered at startup and mined over an HTTP/JSON API.
+//
+//	peregrine-serve -addr :8080 \
+//	    -graph social=graphs/social.txt \
+//	    -dataset mico=mico-lite@1
+//
+//	curl -s localhost:8080/v1/graphs
+//	curl -s -X POST localhost:8080/v1/query \
+//	    -d '{"graph":"mico","kind":"count","pattern":"0-1 1-2 2-0","wait":true}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-1
+//
+// Graph files are edge lists ("src dst" lines, optional "v id label"
+// lines, '#' comments). Dataset specs are name=dataset[@scale] over the
+// built-in synthetics (mico-lite, patents-lite, patents-labeled,
+// orkut-lite, friendster-lite).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"peregrine/internal/gen"
+	"peregrine/internal/server"
+)
+
+// repeatable collects repeated name=value flags.
+type repeatable []string
+
+func (r *repeatable) String() string { return strings.Join(*r, ",") }
+
+func (r *repeatable) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+var datasets = map[string]gen.Dataset{
+	string(gen.MicoLite):       gen.MicoLite,
+	string(gen.PatentsLite):    gen.PatentsLite,
+	string(gen.PatentsLabeled): gen.PatentsLabeled,
+	string(gen.OrkutLite):      gen.OrkutLite,
+	string(gen.FriendsterLite): gen.FriendsterLite,
+}
+
+func main() {
+	var graphFlags, datasetFlags repeatable
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Var(&graphFlags, "graph", "register an edge-list file as name=path (repeatable)")
+	flag.Var(&datasetFlags, "dataset", "register a built-in dataset as name=dataset[@scale] (repeatable)")
+	flag.Parse()
+
+	if len(graphFlags) == 0 && len(datasetFlags) == 0 {
+		fmt.Fprintln(os.Stderr, "peregrine-serve: no graphs registered; pass -graph and/or -dataset")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := server.NewRegistry()
+	for _, spec := range graphFlags {
+		name, path, err := splitSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stat(path); err != nil {
+			fatal(fmt.Errorf("graph %q: %w", name, err))
+		}
+		reg.AddFile(name, path)
+	}
+	for _, spec := range datasetFlags {
+		name, rest, err := splitSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		ds, scale, err := parseDataset(rest)
+		if err != nil {
+			fatal(fmt.Errorf("dataset %q: %w", name, err))
+		}
+		reg.AddDataset(name, ds, scale)
+	}
+
+	srv := server.NewServer(ctx, reg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "peregrine-serve: listening on %s with %d graph(s)\n",
+		*addr, len(graphFlags)+len(datasetFlags))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func splitSpec(spec string) (name, value string, err error) {
+	name, value, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || value == "" {
+		return "", "", fmt.Errorf("bad spec %q: want name=value", spec)
+	}
+	return name, value, nil
+}
+
+func parseDataset(spec string) (gen.Dataset, int, error) {
+	kind, scaleStr, hasScale := strings.Cut(spec, "@")
+	ds, ok := datasets[kind]
+	if !ok {
+		return "", 0, fmt.Errorf("unknown dataset %q", kind)
+	}
+	scale := 1
+	if hasScale {
+		n, err := strconv.Atoi(scaleStr)
+		if err != nil || n < 1 {
+			return "", 0, fmt.Errorf("bad scale %q", scaleStr)
+		}
+		scale = n
+	}
+	return ds, scale, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "peregrine-serve:", err)
+	os.Exit(1)
+}

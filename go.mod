@@ -1,0 +1,3 @@
+module peregrine
+
+go 1.24

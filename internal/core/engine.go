@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -94,6 +95,12 @@ type Options struct {
 	// can explode (e.g. ruling out a 14-clique in a dense graph) use this
 	// to bound wall time.
 	Deadline time.Duration
+
+	// Context, if non-nil, cancels the exploration when done: workers
+	// observe the same stop flag Ctx.Stop and Deadline drive, unwind at
+	// their next check, and Stats.Stopped reports the truncation. This is
+	// how long-running services abort queries whose client went away.
+	Context context.Context
 }
 
 // Stats summarizes one match execution.
@@ -158,6 +165,20 @@ func RunPlan(g *graph.Graph, pl *plan.Plan, cb Callback, opt Options) Stats {
 	if opt.Deadline > 0 {
 		timer := time.AfterFunc(opt.Deadline, func() { stop.Store(true) })
 		defer timer.Stop()
+	}
+	if ctx := opt.Context; ctx != nil {
+		if ctx.Err() != nil {
+			return Stats{Threads: threads, Stopped: true}
+		}
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				stop.Store(true)
+			case <-watchDone:
+			}
+		}()
 	}
 	// Tasks are handed out from the highest vertex id down: ids are
 	// degree-ordered, so high-degree (expensive, heavily-pruned) tasks

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fuzzMaxID bounds vertex ids accepted by the fuzz harness: the builder
+// allocates O(maxID) memory, so a single line like "0 4294967295" would
+// OOM the fuzzer rather than find a bug.
+const fuzzMaxID = 1 << 20
+
+func idsWithinFuzzBound(data []byte) bool {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		for _, fld := range strings.Fields(line) {
+			if n, err := strconv.ParseUint(fld, 10, 64); err == nil && n > fuzzMaxID {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzLoadEdgeList drives the edge-list reader with arbitrary bytes.
+// ReadEdgeList must never panic; accepted input must yield a graph with
+// intact invariants (sorted symmetric adjacency, no self-loops,
+// consistent edge count) that survives a write/read round trip.
+func FuzzLoadEdgeList(f *testing.F) {
+	for _, s := range []string{
+		"0 1\n1 2\n2 0\n",
+		"# comment\n% matrix market\n\n0 1\n",
+		"v 0 3\nv 1 7\n0 1\n1 2\n",
+		"0 0\n",
+		"0 1 extra fields\n",
+		"v 1\n",
+		"1 2\n2 1\n1 2\n",
+		"4294967295 0\n",
+		"a b\n",
+		"0 1\nv 0 4294967295\n",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !idsWithinFuzzBound(data) {
+			t.Skip("ids beyond harness memory bound")
+		}
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		checkInvariants(t, g)
+
+		// Round trip: writing and re-reading must preserve the graph's
+		// vertex count, edge count, and degree sequence.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("WriteEdgeList: %v", err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\noriginal: %q\nwritten: %q", err, data, buf.Bytes())
+		}
+		checkInvariants(t, g2)
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed size: V %d->%d, E %d->%d",
+				g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+		}
+		if !equalDegreeSequence(g, g2) {
+			t.Fatalf("round trip changed degree sequence")
+		}
+	})
+}
+
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	n := g.NumVertices()
+	var degSum uint64
+	for v := uint32(0); v < n; v++ {
+		adj := g.Adj(v)
+		degSum += uint64(len(adj))
+		for i, u := range adj {
+			if u == v {
+				t.Fatalf("self-loop on vertex %d", v)
+			}
+			if u >= n {
+				t.Fatalf("vertex %d has out-of-range neighbor %d (n=%d)", v, u, n)
+			}
+			if i > 0 && adj[i-1] >= u {
+				t.Fatalf("adjacency of %d not strictly sorted: %v", v, adj)
+			}
+			if !g.HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d) present but (%d,%d) missing", v, u, u, v)
+			}
+		}
+	}
+	if degSum != 2*g.NumEdges() {
+		t.Fatalf("degree sum %d != 2 x NumEdges %d", degSum, 2*g.NumEdges())
+	}
+}
+
+func equalDegreeSequence(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() {
+		return false
+	}
+	da := make([]uint32, a.NumVertices())
+	db := make([]uint32, b.NumVertices())
+	for v := uint32(0); v < a.NumVertices(); v++ {
+		da[v] = a.Degree(v)
+		db[v] = b.Degree(v)
+	}
+	sort.Slice(da, func(i, j int) bool { return da[i] < da[j] })
+	sort.Slice(db, func(i, j int) bool { return db[i] < db[j] })
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}

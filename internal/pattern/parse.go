@@ -50,6 +50,12 @@ func Parse(s string) (*Pattern, error) {
 			if err != nil {
 				return nil, fmt.Errorf("pattern: bad label token %q: %v", tok, err)
 			}
+			if u < 0 {
+				return nil, fmt.Errorf("pattern: negative vertex in %q", tok)
+			}
+			if l < 0 {
+				return nil, fmt.Errorf("pattern: negative label in %q", tok)
+			}
 			labels = append(labels, labelAssign{u, Label(l)})
 			if u > maxV {
 				maxV = u

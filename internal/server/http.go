@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds POST bodies; patterns and parameters are tiny.
+const maxBodyBytes = 1 << 20
+
+// Server wires the graph registry and job manager behind the HTTP API:
+//
+//	POST   /v1/query     submit a query (Wait: true blocks for the result)
+//	GET    /v1/jobs      list jobs, newest first
+//	GET    /v1/jobs/{id} poll one job
+//	DELETE /v1/jobs/{id} cancel a job, stopping its engine workers
+//	GET    /v1/graphs    list registered graphs
+//	GET    /healthz      liveness probe
+type Server struct {
+	registry *Registry
+	jobs     *Manager
+}
+
+// NewServer returns a server over reg whose jobs descend from base:
+// cancelling base aborts every running query (graceful shutdown).
+func NewServer(base context.Context, reg *Registry) *Server {
+	return &Server{registry: reg, jobs: NewManager(base)}
+}
+
+// Registry exposes the server's graph registry for startup registration.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Jobs exposes the job manager, mainly for tests.
+func (s *Server) Jobs() *Manager { return s.jobs }
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleQuery validates the request synchronously — malformed bodies,
+// bad patterns (400), and unknown graphs (404) fail before a job is
+// created — then runs the mine asynchronously, or to completion when
+// the request sets Wait.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	q, err := compile(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.registry.Has(req.Graph) {
+		writeError(w, http.StatusNotFound, "%v: %q", ErrUnknownGraph, req.Graph)
+		return
+	}
+
+	// The graph is resolved inside the job so a slow first load (large
+	// edge-list file) does not block the POST: async clients get their
+	// 202 immediately and load failures surface as failed jobs.
+	job := s.jobs.Submit(req, func(ctx context.Context) (*Result, error) {
+		g, err := s.registry.Get(req.Graph)
+		if err != nil {
+			return nil, err
+		}
+		return q.run(ctx, g)
+	})
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, job.Info())
+		return
+	}
+	select {
+	case <-job.Done():
+		writeJSON(w, http.StatusOK, job.Info())
+	case <-r.Context().Done():
+		// Client gave up on a synchronous query: abort its mine too.
+		job.Cancel()
+		<-job.Done()
+		writeJSON(w, http.StatusOK, job.Info())
+	}
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry.List())
+}

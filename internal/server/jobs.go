@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is a job lifecycle state.
+type Status string
+
+// Job lifecycle states. Terminal states are done, failed, and cancelled.
+const (
+	StatusPending   Status = "pending"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// JobInfo is the JSON snapshot of a job returned by the API.
+type JobInfo struct {
+	ID       string     `json:"id"`
+	Status   Status     `json:"status"`
+	Request  Request    `json:"request"`
+	Result   *Result    `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// Job is one asynchronous query execution. The mining itself runs on a
+// dedicated goroutine whose engine workers observe the job's context
+// through core.Options.Context, so Cancel observably stops them.
+type Job struct {
+	id     string
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	status   Status
+	req      Request
+	result   *Result
+	err      error
+	created  time.Time
+	finished time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests termination; the engine's workers unwind at their
+// next stop-flag check. Cancelling a finished job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// Info snapshots the job for serialization.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:      j.id,
+		Status:  j.status,
+		Request: j.req,
+		Result:  j.result,
+		Created: j.created,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.Finished = &t
+	}
+	return info
+}
+
+func (j *Job) setStatus(s Status) {
+	j.mu.Lock()
+	j.status = s
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *Result, err error, ctx context.Context) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.result = res
+	switch {
+	case err != nil && ctx.Err() != nil:
+		// The runner observed the cancellation: its result is truncated.
+		// A cancel that lands after a successful run does NOT reach this
+		// arm (err is nil), so completed work is still reported done.
+		j.status = StatusCancelled
+		j.err = ctx.Err()
+	case err != nil:
+		j.status = StatusFailed
+		j.err = err
+	default:
+		j.status = StatusDone
+	}
+}
+
+// Manager tracks all jobs of one server. Submitted jobs run immediately
+// on their own goroutine; the engine's own scheduler bounds parallelism
+// per query via Request.Threads.
+type Manager struct {
+	base context.Context
+
+	mu   sync.Mutex
+	seq  uint64
+	jobs map[string]*Job
+}
+
+// NewManager returns a job manager whose jobs are children of base:
+// cancelling base (server shutdown) cancels every running job.
+func NewManager(base context.Context) *Manager {
+	if base == nil {
+		base = context.Background()
+	}
+	return &Manager{base: base, jobs: make(map[string]*Job)}
+}
+
+// Submit registers a job for req and starts run on its own goroutine.
+// run receives the job's context and must honor its cancellation.
+func (m *Manager) Submit(req Request, run func(ctx context.Context) (*Result, error)) *Job {
+	ctx, cancel := context.WithCancel(m.base)
+	j := &Job{
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  StatusPending,
+		req:     req,
+		created: time.Now(),
+	}
+	m.mu.Lock()
+	m.seq++
+	j.id = fmt.Sprintf("job-%d", m.seq)
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		j.setStatus(StatusRunning)
+		res, err := run(ctx)
+		j.finish(res, err, ctx)
+		close(j.done)
+	}()
+	return j
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List snapshots every job, newest first.
+func (m *Manager) List() []JobInfo {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Info()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Created.After(out[j].Created) })
+	return out
+}

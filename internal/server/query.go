@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"peregrine/internal/core"
+	"peregrine/internal/fsm"
+	"peregrine/internal/graph"
+	"peregrine/internal/pattern"
+)
+
+// Query kinds accepted by POST /v1/query.
+const (
+	KindCount   = "count"   // number of matches (the paper's count())
+	KindExists  = "exists"  // existence query with early termination (§5.3)
+	KindMatches = "matches" // up to MaxMatches concrete mappings (match())
+	KindFSM     = "fsm"     // frequent subgraph mining (§3.2.1)
+)
+
+// DefaultMaxMatches caps the mappings returned by a matches query when
+// the request does not set MaxMatches.
+const DefaultMaxMatches = 100
+
+// Request is the body of POST /v1/query.
+type Request struct {
+	// Graph names a graph registered in the server's registry.
+	Graph string `json:"graph"`
+	// Kind selects the query: count, exists, matches, or fsm.
+	Kind string `json:"kind"`
+	// Pattern is the textual pattern ("0-1 1-2 2-0", see ParsePattern);
+	// required for every kind except fsm.
+	Pattern string `json:"pattern,omitempty"`
+	// VertexInduced matches with vertex-induced semantics (Theorem 3.1).
+	VertexInduced bool `json:"vertexInduced,omitempty"`
+	// NoSymmetryBreaking enumerates every automorphic variant (PRG-U).
+	NoSymmetryBreaking bool `json:"noSymmetryBreaking,omitempty"`
+	// Threads bounds this query's workers; 0 means GOMAXPROCS.
+	Threads int `json:"threads,omitempty"`
+	// MaxMatches caps returned mappings for matches queries.
+	MaxMatches int `json:"maxMatches,omitempty"`
+	// MaxEdges and Support parameterize fsm queries.
+	MaxEdges int `json:"maxEdges,omitempty"`
+	Support  int `json:"support,omitempty"`
+	// Wait makes POST /v1/query block until the job finishes and return
+	// the terminal snapshot instead of responding 202 immediately.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// Result carries the outcome of one query.
+type Result struct {
+	Count    uint64            `json:"count,omitempty"`
+	Exists   *bool             `json:"exists,omitempty"`
+	Matches  [][]uint32        `json:"matches,omitempty"`
+	Frequent []FrequentPattern `json:"frequent,omitempty"`
+	Stats    *RunStats         `json:"stats,omitempty"`
+}
+
+// FrequentPattern is one fsm result row.
+type FrequentPattern struct {
+	Pattern string `json:"pattern"`
+	Support int    `json:"support"`
+}
+
+// RunStats is the JSON rendering of core.Stats.
+type RunStats struct {
+	Matches     uint64 `json:"matches"`
+	CoreMatches uint64 `json:"coreMatches"`
+	Tasks       uint64 `json:"tasks"`
+	Threads     int    `json:"threads"`
+	Stopped     bool   `json:"stopped"`
+	PlanMicros  int64  `json:"planMicros"`
+	MatchMicros int64  `json:"matchMicros"`
+}
+
+func statsJSON(st core.Stats) *RunStats {
+	return &RunStats{
+		Matches:     st.Matches,
+		CoreMatches: st.CoreMatches,
+		Tasks:       st.Tasks,
+		Threads:     st.Threads,
+		Stopped:     st.Stopped,
+		PlanMicros:  st.PlanTime.Microseconds(),
+		MatchMicros: st.MatchTime.Microseconds(),
+	}
+}
+
+// compiledQuery is a validated request: pattern parsed (and converted
+// for vertex-induced semantics), parameters defaulted.
+type compiledQuery struct {
+	req Request
+	pat *pattern.Pattern // nil for fsm
+}
+
+// compile validates req and parses its pattern. Errors are client
+// errors (HTTP 400); the graph is resolved separately so unknown graphs
+// can map to 404.
+func compile(req Request) (*compiledQuery, error) {
+	switch req.Kind {
+	case KindCount, KindExists, KindMatches:
+		if req.Pattern == "" {
+			return nil, fmt.Errorf("query kind %q requires a pattern", req.Kind)
+		}
+		p, err := pattern.Parse(req.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if !p.ConnectedRegular() {
+			return nil, fmt.Errorf("pattern %q is not connected", req.Pattern)
+		}
+		if req.VertexInduced {
+			p = pattern.VertexInduced(p)
+		}
+		return &compiledQuery{req: req, pat: p}, nil
+	case KindFSM:
+		if req.MaxEdges < 1 {
+			return nil, fmt.Errorf("fsm requires maxEdges >= 1")
+		}
+		if req.Support < 1 {
+			return nil, fmt.Errorf("fsm requires support >= 1")
+		}
+		return &compiledQuery{req: req}, nil
+	case "":
+		return nil, fmt.Errorf("missing query kind (want count, exists, matches, or fsm)")
+	default:
+		return nil, fmt.Errorf("unknown query kind %q (want count, exists, matches, or fsm)", req.Kind)
+	}
+}
+
+// run executes the compiled query on g, honoring ctx cancellation: the
+// context reaches every engine worker through core.Options.Context.
+func (q *compiledQuery) run(ctx context.Context, g *graph.Graph) (*Result, error) {
+	opts := core.Options{
+		Threads:            q.req.Threads,
+		NoSymmetryBreaking: q.req.NoSymmetryBreaking,
+		Context:            ctx,
+	}
+	var res *Result
+	var err error
+	switch q.req.Kind {
+	case KindCount:
+		var st core.Stats
+		st, err = core.Run(g, q.pat, nil, opts)
+		if err == nil {
+			res = &Result{Count: st.Matches, Stats: statsJSON(st)}
+		}
+	case KindExists:
+		res, err = q.runExists(g, opts)
+	case KindMatches:
+		res, err = q.runMatches(g, opts)
+	case KindFSM:
+		res, err = q.runFSM(g, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Report cancellation only when the result is actually truncated:
+		// a cancel racing in just after a complete run must not demote it.
+		// The engine's Stopped flag is authoritative for pattern queries;
+		// fsm carries no such flag, so a cancelled fsm is always treated
+		// as truncated.
+		if q.req.Kind == KindFSM || (res.Stats != nil && res.Stats.Stopped) {
+			return res, cerr
+		}
+	}
+	return res, nil
+}
+
+func (q *compiledQuery) runExists(g *graph.Graph, opts core.Options) (*Result, error) {
+	found := false
+	var mu sync.Mutex
+	st, err := core.Run(g, q.pat, func(c *core.Ctx, m *core.Match) {
+		mu.Lock()
+		found = true
+		mu.Unlock()
+		c.Stop()
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Exists: &found, Count: st.Matches, Stats: statsJSON(st)}, nil
+}
+
+func (q *compiledQuery) runMatches(g *graph.Graph, opts core.Options) (*Result, error) {
+	limit := q.req.MaxMatches
+	if limit <= 0 {
+		limit = DefaultMaxMatches
+	}
+	var mu sync.Mutex
+	var matches [][]uint32
+	st, err := core.Run(g, q.pat, func(c *core.Ctx, m *core.Match) {
+		mu.Lock()
+		if len(matches) < limit {
+			matches = append(matches, m.OrigMapping(g))
+		}
+		full := len(matches) >= limit
+		mu.Unlock()
+		if full {
+			c.Stop()
+		}
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Count: st.Matches, Matches: matches, Stats: statsJSON(st)}, nil
+}
+
+func (q *compiledQuery) runFSM(g *graph.Graph, opts core.Options) (*Result, error) {
+	start := time.Now()
+	r, err := fsm.Mine(g, q.req.MaxEdges, q.req.Support, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FrequentPattern, len(r.Frequent))
+	for i, fp := range r.Frequent {
+		out[i] = FrequentPattern{Pattern: fp.Pattern.String(), Support: fp.Support}
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &Result{
+		Count:    uint64(len(out)),
+		Frequent: out,
+		Stats:    &RunStats{Threads: threads, MatchMicros: time.Since(start).Microseconds()},
+	}, nil
+}

@@ -1,0 +1,142 @@
+// Package server turns the pattern-aware mining engine into a
+// long-running query service, the way Arabesque-style systems expose
+// graph mining as a service rather than one-shot runs: a registry of
+// named data graphs, an asynchronous job manager with cancellation, and
+// an HTTP/JSON API (see http.go) served by cmd/peregrine-serve.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"peregrine/internal/gen"
+	"peregrine/internal/graph"
+)
+
+// ErrUnknownGraph is returned by Registry.Get for unregistered names;
+// the HTTP layer maps it to 404.
+var ErrUnknownGraph = errors.New("unknown graph")
+
+// GraphInfo describes one registered graph for GET /v1/graphs. Vertex,
+// edge, and label counts are present only once the graph has loaded.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Source   string `json:"source"`
+	Loaded   bool   `json:"loaded"`
+	Vertices uint32 `json:"vertices,omitempty"`
+	Edges    uint64 `json:"edges,omitempty"`
+	Labels   int    `json:"labels,omitempty"`
+}
+
+// graphEntry lazily materializes one named graph: the first Get loads
+// it, concurrent Gets of the same entry share a single load, and only
+// success is cached — a transient failure (unreadable file) is retried
+// on the next query rather than poisoning the name until restart. The
+// loaded graph is published through an atomic pointer so List can peek
+// without blocking behind an in-flight load.
+type graphEntry struct {
+	source string
+	load   func() (*graph.Graph, error)
+	mu     sync.Mutex
+	g      atomic.Pointer[graph.Graph]
+}
+
+func (e *graphEntry) get() (*graph.Graph, error) {
+	if g := e.g.Load(); g != nil {
+		return g, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if g := e.g.Load(); g != nil {
+		return g, nil
+	}
+	g, err := e.load()
+	if err != nil {
+		return nil, err
+	}
+	e.g.Store(g)
+	return g, nil
+}
+
+// Registry maps names to data graphs. Registration normally happens at
+// startup, but the RWMutex allows graphs to be added while queries are
+// being served; loading is lazy so a server with many registered graphs
+// pays only for the ones queried.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*graphEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*graphEntry)}
+}
+
+func (r *Registry) add(name, source string, load func() (*graph.Graph, error)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name] = &graphEntry{source: source, load: load}
+}
+
+// AddGraph registers an already-built graph under name.
+func (r *Registry) AddGraph(name, source string, g *graph.Graph) {
+	r.add(name, source, func() (*graph.Graph, error) { return g, nil })
+}
+
+// AddFile registers an edge-list file, loaded on first query.
+func (r *Registry) AddFile(name, path string) {
+	r.add(name, "file:"+path, func() (*graph.Graph, error) { return graph.LoadEdgeList(path) })
+}
+
+// AddDataset registers a built-in synthetic dataset at the given scale,
+// generated on first query.
+func (r *Registry) AddDataset(name string, d gen.Dataset, scale int) {
+	r.add(name, fmt.Sprintf("dataset:%s@%d", d, scale), func() (*graph.Graph, error) {
+		return gen.Standard(d, scale), nil
+	})
+}
+
+// Get returns the graph registered under name, loading it if this is
+// the first access. Concurrent Gets of the same unloaded graph perform
+// one load; Gets of other graphs are never blocked by it.
+func (r *Registry) Get(name string) (*graph.Graph, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	return e.get()
+}
+
+// Has reports whether name is registered, without loading it. The HTTP
+// layer uses this to reject unknown graphs synchronously while leaving
+// the (possibly slow) load to the job's goroutine.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[name]
+	return ok
+}
+
+// List describes every registered graph, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(r.entries))
+	for name, e := range r.entries {
+		info := GraphInfo{Name: name, Source: e.source}
+		if g := e.g.Load(); g != nil {
+			info.Loaded = true
+			info.Vertices = g.NumVertices()
+			info.Edges = g.NumEdges()
+			info.Labels = g.NumLabels()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"peregrine/internal/gen"
+	"peregrine/internal/graph"
+)
+
+// triangleGraph has exactly n triangles: n disjoint 3-cliques.
+func triangleGraph(n int) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := uint32(0); i < uint32(n); i++ {
+		base := 3 * i
+		b.AddEdge(base, base+1)
+		b.AddEdge(base+1, base+2)
+		b.AddEdge(base+2, base)
+	}
+	return b.Build()
+}
+
+// labeledPath is a labeled 4-path for fsm queries.
+func labeledPath() *graph.Graph {
+	b := graph.NewBuilder()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	for v := uint32(0); v < 4; v++ {
+		b.SetLabel(v, v%2)
+	}
+	return b.Build()
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	reg := NewRegistry()
+	reg.AddGraph("tri2", "test:tri2", triangleGraph(2))
+	reg.AddGraph("tri5", "test:tri5", triangleGraph(5))
+	reg.AddGraph("labeled", "test:labeled", labeledPath())
+	reg.AddGraph("dense", "test:dense", gen.Standard(gen.OrkutLite, 1))
+	s := NewServer(ctx, reg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, body string) (int, JobInfo) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	var info JobInfo
+	if err := json.Unmarshal(buf.Bytes(), &info); err != nil && resp.StatusCode < 400 {
+		t.Fatalf("decoding %q: %v", buf.String(), err)
+	}
+	return resp.StatusCode, info
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) (int, JobInfo) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info JobInfo
+	_ = json.NewDecoder(resp.Body).Decode(&info)
+	return resp.StatusCode, info
+}
+
+func deleteJob(t *testing.T, ts *httptest.Server, id string) (int, JobInfo) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info JobInfo
+	_ = json.NewDecoder(resp.Body).Decode(&info)
+	return resp.StatusCode, info
+}
+
+func TestCountQueryEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, info := postQuery(t, ts, `{"graph":"tri5","kind":"count","pattern":"0-1 1-2 2-0","wait":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	if info.Status != StatusDone {
+		t.Fatalf("job status = %q (error %q), want done", info.Status, info.Error)
+	}
+	if info.Result == nil || info.Result.Count != 5 {
+		t.Fatalf("count = %+v, want 5", info.Result)
+	}
+	if info.Result.Stats == nil || info.Result.Stats.Stopped {
+		t.Errorf("stats = %+v, want present and not stopped", info.Result.Stats)
+	}
+}
+
+func TestAsyncJobPolling(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, info := postQuery(t, ts, `{"graph":"tri2","kind":"count","pattern":"0-1 1-2 2-0"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", code)
+	}
+	if info.ID == "" {
+		t.Fatal("no job id in async response")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, cur := getJob(t, ts, info.ID)
+		if code != http.StatusOK {
+			t.Fatalf("poll status = %d", code)
+		}
+		if cur.Status == StatusDone {
+			if cur.Result == nil || cur.Result.Count != 2 {
+				t.Fatalf("count = %+v, want 2", cur.Result)
+			}
+			if cur.Finished == nil {
+				t.Error("done job has no finished timestamp")
+			}
+			return
+		}
+		if cur.Status == StatusFailed || cur.Status == StatusCancelled {
+			t.Fatalf("job ended %q: %s", cur.Status, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after 10s", cur.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestExistsAndMatchesQueries(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	_, info := postQuery(t, ts, `{"graph":"tri2","kind":"exists","pattern":"0-1 1-2 2-0","wait":true}`)
+	if info.Result == nil || info.Result.Exists == nil || !*info.Result.Exists {
+		t.Errorf("triangle exists = %+v, want true", info.Result)
+	}
+	_, info = postQuery(t, ts, `{"graph":"tri2","kind":"exists","pattern":"0-1 0-2 0-3 1-2 1-3 2-3","wait":true}`)
+	if info.Result == nil || info.Result.Exists == nil || *info.Result.Exists {
+		t.Errorf("4-clique exists = %+v, want false", info.Result)
+	}
+
+	_, info = postQuery(t, ts, `{"graph":"tri5","kind":"matches","pattern":"0-1 1-2 2-0","maxMatches":3,"wait":true}`)
+	if info.Status != StatusDone {
+		t.Fatalf("matches job = %q: %s", info.Status, info.Error)
+	}
+	if info.Result == nil || len(info.Result.Matches) != 3 {
+		t.Fatalf("matches = %+v, want exactly 3 mappings", info.Result)
+	}
+	for _, m := range info.Result.Matches {
+		if len(m) != 3 {
+			t.Errorf("mapping %v has %d vertices, want 3", m, len(m))
+		}
+	}
+}
+
+func TestFSMQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, info := postQuery(t, ts, `{"graph":"labeled","kind":"fsm","maxEdges":1,"support":1,"wait":true}`)
+	if info.Status != StatusDone {
+		t.Fatalf("fsm job = %q: %s", info.Status, info.Error)
+	}
+	if info.Result == nil || len(info.Result.Frequent) == 0 {
+		t.Fatalf("fsm result = %+v, want frequent single-edge patterns", info.Result)
+	}
+	for _, fp := range info.Result.Frequent {
+		if fp.Support < 1 || fp.Pattern == "" {
+			t.Errorf("bad frequent pattern row %+v", fp)
+		}
+	}
+}
+
+// Concurrent queries against distinct graphs must not interfere: each
+// graph has a different triangle count and every response must report
+// its own graph's count.
+func TestConcurrentQueriesDistinctGraphs(t *testing.T) {
+	_, ts := newTestServer(t)
+	want := map[string]uint64{"tri2": 2, "tri5": 5}
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		name := "tri2"
+		if i%2 == 1 {
+			name = "tri5"
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"graph":%q,"kind":"count","pattern":"0-1 1-2 2-0","wait":true}`, name)
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var info JobInfo
+			if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+				errs <- err
+				return
+			}
+			if info.Status != StatusDone || info.Result == nil || info.Result.Count != want[name] {
+				errs <- fmt.Errorf("%s: status=%q result=%+v, want count %d", name, info.Status, info.Result, want[name])
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// DELETE on a running job must observably stop its engine workers: the
+// 7-star count on the dense graph would run far beyond the test timeout
+// if cancellation did not reach the workers' stop flag.
+func TestCancelMidMineStopsWorkers(t *testing.T) {
+	s, ts := newTestServer(t)
+	code, info := postQuery(t, ts,
+		`{"graph":"dense","kind":"count","pattern":"0-1 0-2 0-3 0-4 0-5 0-6"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+
+	// Wait until the job is actually mining so the DELETE lands mid-run.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, cur := getJob(t, ts, info.ID)
+		if cur.Status == StatusRunning {
+			break
+		}
+		if cur.Status != StatusPending || time.Now().After(deadline) {
+			t.Fatalf("job reached %q before running", cur.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let workers descend into the mine
+
+	code, _ = deleteJob(t, ts, info.ID)
+	if code != http.StatusOK {
+		t.Fatalf("cancel status = %d, want 200", code)
+	}
+
+	job, ok := s.Jobs().Get(info.ID)
+	if !ok {
+		t.Fatal("job vanished from manager")
+	}
+	cancelAt := time.Now()
+	select {
+	case <-job.Done():
+	case <-time.After(20 * time.Second):
+		t.Fatal("workers did not stop within 20s of DELETE")
+	}
+	stopLatency := time.Since(cancelAt)
+
+	_, final := getJob(t, ts, info.ID)
+	if final.Status != StatusCancelled {
+		t.Fatalf("final status = %q, want cancelled", final.Status)
+	}
+	if final.Result != nil && final.Result.Stats != nil && !final.Result.Stats.Stopped {
+		t.Error("engine stats report a complete run after cancellation")
+	}
+	t.Logf("workers stopped %v after DELETE", stopLatency)
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown graph", `{"graph":"nope","kind":"count","pattern":"0-1"}`, http.StatusNotFound},
+		{"malformed pattern", `{"graph":"tri2","kind":"count","pattern":"0-1 1-"}`, http.StatusBadRequest},
+		{"negative vertex", `{"graph":"tri2","kind":"count","pattern":"[-1:3]"}`, http.StatusBadRequest},
+		{"disconnected pattern", `{"graph":"tri2","kind":"count","pattern":"0-1 2-3"}`, http.StatusBadRequest},
+		{"missing pattern", `{"graph":"tri2","kind":"count"}`, http.StatusBadRequest},
+		{"unknown kind", `{"graph":"tri2","kind":"blend","pattern":"0-1"}`, http.StatusBadRequest},
+		{"bad fsm params", `{"graph":"labeled","kind":"fsm","maxEdges":0,"support":1}`, http.StatusBadRequest},
+		{"bad json", `{"graph":`, http.StatusBadRequest},
+		{"unknown field", `{"graph":"tri2","kind":"count","pattern":"0-1","bogus":1}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			var e errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Errorf("error body missing: decode err %v, body %+v", err, e)
+			}
+		})
+	}
+
+	if code, _ := getJob(t, ts, "job-999"); code != http.StatusNotFound {
+		t.Errorf("GET unknown job = %d, want 404", code)
+	}
+	if code, _ := deleteJob(t, ts, "job-999"); code != http.StatusNotFound {
+		t.Errorf("DELETE unknown job = %d, want 404", code)
+	}
+}
+
+func TestGraphsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Query one graph first so exactly the queried graph reports loaded.
+	postQuery(t, ts, `{"graph":"tri2","kind":"count","pattern":"0-1","wait":true}`)
+
+	resp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]GraphInfo)
+	for _, gi := range infos {
+		byName[gi.Name] = gi
+	}
+	for _, name := range []string{"tri2", "tri5", "labeled", "dense"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("graph %q missing from listing", name)
+		}
+	}
+	if gi := byName["tri2"]; !gi.Loaded || gi.Vertices != 6 || gi.Edges != 6 {
+		t.Errorf("tri2 info = %+v, want loaded with 6 vertices / 6 edges", gi)
+	}
+}
+
+// A transient load failure must not poison the graph name: the next
+// query retries the load instead of replaying the cached error.
+func TestRegistryRetriesFailedLoad(t *testing.T) {
+	reg := NewRegistry()
+	calls := 0
+	reg.add("flaky", "test:flaky", func() (*graph.Graph, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return triangleGraph(1), nil
+	})
+	if _, err := reg.Get("flaky"); err == nil {
+		t.Fatal("first Get succeeded, want transient error")
+	}
+	g, err := reg.Get("flaky")
+	if err != nil {
+		t.Fatalf("second Get did not retry: %v", err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("retried load returned wrong graph: %v", g)
+	}
+	if calls != 2 {
+		t.Fatalf("load called %d times, want 2", calls)
+	}
+}
+
+// Server shutdown (base context cancellation) aborts running jobs.
+func TestShutdownCancelsJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := NewRegistry()
+	reg.AddGraph("dense", "test:dense", gen.Standard(gen.OrkutLite, 1))
+	s := NewServer(ctx, reg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, info := postQuery(t, ts, `{"graph":"dense","kind":"count","pattern":"0-1 0-2 0-3 0-4 0-5 0-6"}`)
+	job, ok := s.Jobs().Get(info.ID)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	cancel()
+	select {
+	case <-job.Done():
+	case <-time.After(20 * time.Second):
+		t.Fatal("job survived server shutdown for 20s")
+	}
+	if got := job.Info().Status; got != StatusCancelled {
+		t.Errorf("status after shutdown = %q, want cancelled", got)
+	}
+}

@@ -22,6 +22,7 @@
 package peregrine
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -162,6 +163,12 @@ func VertexInduced() Option { return func(c *config) { c.vertexInduced = true } 
 // the truncation. Useful for existence queries whose negative answers
 // require exhaustive search (e.g. ruling out a large clique).
 func WithDeadline(d time.Duration) Option { return func(c *config) { c.opts.Deadline = d } }
+
+// WithContext cancels the exploration when ctx is done: workers observe
+// the stop flag at their next check and unwind, and Stats.Stopped
+// reports the truncation. Services use this to abort queries whose
+// client disconnected or whose job was cancelled.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.opts.Context = ctx } }
 
 // WithBreakdown attaches a Figure 11 stage-time recorder.
 func WithBreakdown(b *Breakdown) Option { return func(c *config) { c.opts.Breakdown = b } }
