@@ -19,20 +19,25 @@ type MotifCount struct {
 
 // MotifCounts counts the vertex-induced occurrences of every connected
 // pattern with exactly size vertices (Figure 4e). Patterns are returned
-// in canonical order with their counts.
+// in canonical order with their counts. All motifs of the size are
+// matched in a single traversal of g via the prepared multi-pattern
+// path.
 func MotifCounts(g *Graph, size int, opts ...Option) ([]MotifCount, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("peregrine: motif size %d < 2", size)
 	}
 	motifs := pattern.GenerateAllVertexInduced(size)
-	out := make([]MotifCount, 0, len(motifs))
-	for _, m := range motifs {
-		all := append([]Option{VertexInduced()}, opts...)
-		n, err := Count(g, m, all...)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, MotifCount{Pattern: m, Count: n})
+	vind := make([]*Pattern, len(motifs))
+	for i, m := range motifs {
+		vind[i] = pattern.VertexInduced(m)
+	}
+	counts, err := CountMany(g, vind, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MotifCount, len(motifs))
+	for i, m := range motifs {
+		out[i] = MotifCount{Pattern: m, Count: counts[i]}
 	}
 	return out, nil
 }
@@ -55,42 +60,47 @@ func LabeledMotifCounts(g *Graph, size int, opts ...Option) (map[string]MotifCou
 	if threads <= 0 {
 		threads = defaultThreads()
 	}
-	for _, m := range motifs {
-		m := m
-		vind := pattern.VertexInduced(m)
-		// Discover labels: match the unlabeled motif and bucket matches
-		// by the labels of their matched vertices, exactly like FSM's
-		// label discovery (§3.2.1). Each worker owns one bucket map;
-		// buckets merge after the run.
-		perThread := make([]map[string]*slot, threads)
-		for i := range perThread {
-			perThread[i] = make(map[string]*slot)
+	vind := make([]*Pattern, len(motifs))
+	for i, m := range motifs {
+		vind[i] = pattern.VertexInduced(m)
+	}
+	q, err := Prepare(vind...)
+	if err != nil {
+		return nil, err
+	}
+	// Discover labels: match the unlabeled motifs — all of them in one
+	// traversal — and bucket matches by the labels of their matched
+	// vertices, exactly like FSM's label discovery (§3.2.1). Each worker
+	// owns one bucket map; buckets merge after the run.
+	perThread := make([]map[string]*slot, threads)
+	for i := range perThread {
+		perThread[i] = make(map[string]*slot)
+	}
+	all := append([]Option{WithThreads(threads)}, opts...)
+	_, err = q.ForEach(g, func(ctx *Ctx, pat int, mt *Match) {
+		m := motifs[pat]
+		labeled := m.Clone()
+		for _, v := range m.RegularVertices() {
+			labeled.SetLabel(v, Label(g.Label(mt.Mapping[v])))
 		}
-		all := append([]Option{WithThreads(threads)}, opts...)
-		_, err := ForEachMatch(g, vind, func(ctx *Ctx, mt *Match) {
-			labeled := m.Clone()
-			for _, v := range m.RegularVertices() {
-				labeled.SetLabel(v, Label(g.Label(mt.Mapping[v])))
-			}
-			code := labeled.CanonicalCode()
-			bucket := perThread[ctx.Thread]
-			s, ok := bucket[code]
-			if !ok {
-				s = &slot{pat: labeled}
-				bucket[code] = s
-			}
-			s.n++
-		}, all...)
-		if err != nil {
-			return nil, err
+		code := labeled.CanonicalCode()
+		bucket := perThread[ctx.Thread]
+		s, ok := bucket[code]
+		if !ok {
+			s = &slot{pat: labeled}
+			bucket[code] = s
 		}
-		for _, bucket := range perThread {
-			for code, s := range bucket {
-				if dst, ok := counts[code]; ok {
-					dst.n += s.n
-				} else {
-					counts[code] = s
-				}
+		s.n++
+	}, all...)
+	if err != nil {
+		return nil, err
+	}
+	for _, bucket := range perThread {
+		for code, s := range bucket {
+			if dst, ok := counts[code]; ok {
+				dst.n += s.n
+			} else {
+				counts[code] = s
 			}
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"peregrine/internal/fsm"
 	"peregrine/internal/harness"
 	"peregrine/internal/pattern"
+	"peregrine/internal/plan"
 	"peregrine/internal/profile"
 )
 
@@ -454,6 +455,78 @@ func BenchmarkAblationDegreeOrderedTasks(b *testing.B) {
 	b.Run("engine-default", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Count(g, p, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Prepared-query API: batched execution and plan caching -------------------
+
+// BenchmarkPreparedVsSerialMotifs compares the prepared multi-pattern
+// CountEach — all patterns matched over a single task scan via
+// matching-order union — against the serial per-pattern loop the old
+// CountMany ran, on the motif workload (all 4-vertex patterns). The
+// tasks/op metric makes the traversal sharing visible: the batched path
+// scans the vertex set once, the serial loop once per pattern.
+func BenchmarkPreparedVsSerialMotifs(b *testing.B) {
+	cfg := benchCfg(b)
+	g := harness.BenchDataset("patents", cfg.Scale)
+	motifs := pattern.GenerateAllVertexInduced(4)
+	vind := make([]*Pattern, len(motifs))
+	for i, m := range motifs {
+		vind[i] = pattern.VertexInduced(m)
+	}
+	b.Run("serial-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var tasks uint64
+			for _, p := range vind {
+				_, st, err := CountWithStats(g, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tasks += st.Tasks
+			}
+			b.ReportMetric(float64(tasks), "tasks/op")
+		}
+	})
+	b.Run("prepared-CountEach", func(b *testing.B) {
+		q, err := Prepare(vind...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, ms, err := q.CountEachWithStats(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(ms.Tasks), "tasks/op")
+		}
+	})
+}
+
+// BenchmarkPlanCache isolates the compile-once claim: a cache hit is a
+// canonicalization plus a map lookup, a miss pays full pattern analysis
+// (symmetry breaking, core extraction, matching orders).
+func BenchmarkPlanCache(b *testing.B) {
+	p := mustEval("p4") // the 5-vertex house: non-trivial symmetries and core
+	b.Run("hit", func(b *testing.B) {
+		c := plan.NewCache()
+		if _, err := c.Get(p, plan.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Get(p, plan.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := plan.NewCache()
+			if _, err := c.Get(p, plan.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}

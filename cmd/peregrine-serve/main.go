@@ -7,9 +7,14 @@
 //
 //	curl -s localhost:8080/v1/graphs
 //	curl -s -X POST localhost:8080/v1/query \
-//	    -d '{"graph":"mico","kind":"count","pattern":"0-1 1-2 2-0","wait":true}'
-//	curl -s localhost:8080/v1/jobs/job-1
+//	    -d '{"graph":"mico","kind":"count","patterns":["0-1 1-2 2-0","0-1 0-2 0-3"],"wait":true}'
+//	curl -s -X POST localhost:8080/v1/query \
+//	    -d '{"graph":"mico","kind":"matches","pattern":"0-1 1-2 2-0","stream":true}'
+//	curl -sN localhost:8080/v1/jobs/job-2/stream
+//	curl -s localhost:8080/v1/jobs
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-1
+//
+// Finished jobs are evicted -job-ttl after completion (0 disables).
 //
 // Graph files are edge lists ("src dst" lines, optional "v id label"
 // lines, '#' comments). Dataset specs are name=dataset[@scale] over the
@@ -55,6 +60,9 @@ var datasets = map[string]gen.Dataset{
 func main() {
 	var graphFlags, datasetFlags repeatable
 	addr := flag.String("addr", ":8080", "listen address")
+	jobTTL := flag.Duration("job-ttl", time.Hour, "evict finished jobs after this long (0 keeps them forever)")
+	attachTimeout := flag.Duration("stream-attach-timeout", server.DefaultStreamAttachTimeout,
+		"cancel a streaming job whose stream is not consumed within this long (0 disables)")
 	flag.Var(&graphFlags, "graph", "register an edge-list file as name=path (repeatable)")
 	flag.Var(&datasetFlags, "dataset", "register a built-in dataset as name=dataset[@scale] (repeatable)")
 	flag.Parse()
@@ -92,6 +100,8 @@ func main() {
 	}
 
 	srv := server.NewServer(ctx, reg)
+	srv.Jobs().SetTTL(*jobTTL)
+	srv.SetStreamAttachTimeout(*attachTimeout)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,70 @@
+// Prepared queries: compile a batch of patterns once, count them all in
+// a single traversal, and stream matches through the range-over-func
+// iterator — the compile-once / match-many tour of the API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"peregrine"
+)
+
+func main() {
+	// The Figure 6 friendship graph again, plus a second graph to show
+	// that one prepared query serves many graphs.
+	social := peregrine.GraphFromEdges([][2]uint32{
+		{1, 2}, {1, 4}, {1, 6},
+		{2, 3}, {2, 4},
+		{3, 5},
+		{4, 5}, {4, 6},
+		{5, 6}, {5, 7},
+		{6, 7},
+	})
+	ring := peregrine.GraphFromEdges([][2]uint32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+	})
+
+	// Prepare analyzes each pattern once — symmetry breaking, core
+	// extraction, matching orders — and caches the plans process-wide.
+	patterns := []*peregrine.Pattern{
+		peregrine.GenerateClique(3),
+		peregrine.GenerateCycle(4),
+		peregrine.MustParsePattern("0-1 1-2 2-3 3-0 1-3"), // chordal square
+	}
+	q, err := peregrine.Prepare(patterns...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// CountEach matches every pattern in ONE pass over the graph: the
+	// task scan is shared, so this beats a loop of independent Counts.
+	for name, g := range map[string]*peregrine.Graph{"social": social, "ring": ring} {
+		counts, err := q.CountEach(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, p := range patterns {
+			fmt.Printf("%-7s %-24v %d\n", name, p, counts[i])
+		}
+	}
+
+	// Matches streams (pattern index, match) pairs as the engine finds
+	// them; nothing is buffered, and each yielded Match owns its
+	// mapping. Breaking out of the range stops the workers.
+	seq, err := q.Matches(social)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shown := 0
+	for pi, m := range seq {
+		fmt.Printf("match of %v: %v\n", patterns[pi], m.OrigMapping(social))
+		shown++
+		if shown == 4 {
+			break // early termination, like Ctx.Stop
+		}
+	}
+
+	hits, misses := peregrine.PlanCacheStats()
+	fmt.Printf("plan cache: %d hits, %d misses\n", hits, misses)
+}

@@ -151,13 +151,65 @@ func Exists(g *graph.Graph, p *pattern.Pattern, opt Options) (bool, error) {
 // RunPlan runs a precomputed plan. Reusing a plan across graphs or
 // repeated runs skips plan generation.
 func RunPlan(g *graph.Graph, pl *plan.Plan, cb Callback, opt Options) Stats {
+	var pcb PlanCallback
+	if cb != nil {
+		pcb = func(ctx *Ctx, _ int, m *Match) { cb(ctx, m) }
+	}
+	// RunPlans ships every Per[i] as a complete Stats snapshot, early
+	// returns included, so Per[0] is the whole answer.
+	return RunPlans(g, []*plan.Plan{pl}, pcb, opt).Per[0]
+}
+
+// PlanCallback processes one match from a batched multi-plan run; pat
+// is the index into the plan slice of the plan that produced it. Like
+// Callback, implementations must be safe for concurrent invocation.
+type PlanCallback func(ctx *Ctx, pat int, m *Match)
+
+// MultiStats summarizes one batched execution of several plans over a
+// single graph traversal.
+type MultiStats struct {
+	Per       []Stats       // per-plan match and core-match counts
+	Tasks     uint64        // start vertices processed — once for the whole batch
+	Stopped   bool          // true if exploration terminated early
+	MatchTime time.Duration // wall time of the parallel exploration
+	Threads   int
+}
+
+// Matches returns the total match count across all plans.
+func (ms *MultiStats) Matches() uint64 {
+	var total uint64
+	for _, s := range ms.Per {
+		total += s.Matches
+	}
+	return total
+}
+
+// RunPlans runs several precomputed plans in one pass over the data
+// graph: each start vertex is claimed once from the shared task counter
+// and every plan's matching orders are explored from it before the next
+// vertex is taken. The per-pattern work is the same as running each
+// plan alone, but the task scan — and the scheduler's pass over the
+// vertex set — is shared, which is what makes batched multi-pattern
+// queries (motif counts, query batches on one graph) cheaper than a
+// serial loop of independent traversals.
+//
+// Matches are tagged with the index of the plan that produced them via
+// cb's pat argument. The same plan pointer may appear more than once in
+// pls; each occurrence is matched and counted independently.
+func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) MultiStats {
 	threads := opt.Threads
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
+	ms := MultiStats{Per: make([]Stats, len(pls)), Threads: threads}
+	for i := range ms.Per {
+		// Early returns below ship these snapshots as-is, and callers
+		// like RunPlan read Per[i] as a complete Stats.
+		ms.Per[i].Threads = threads
+	}
 	n := int64(g.NumVertices())
-	if n == 0 {
-		return Stats{Threads: threads}
+	if n == 0 || len(pls) == 0 {
+		return ms
 	}
 
 	start := time.Now()
@@ -168,7 +220,11 @@ func RunPlan(g *graph.Graph, pl *plan.Plan, cb Callback, opt Options) Stats {
 	}
 	if ctx := opt.Context; ctx != nil {
 		if ctx.Err() != nil {
-			return Stats{Threads: threads, Stopped: true}
+			ms.Stopped = true
+			for i := range ms.Per {
+				ms.Per[i].Stopped = true
+			}
+			return ms
 		}
 		watchDone := make(chan struct{})
 		defer close(watchDone)
@@ -186,40 +242,70 @@ func RunPlan(g *graph.Graph, pl *plan.Plan, cb Callback, opt Options) Stats {
 	next := new(atomic.Int64)
 	next.Store(n)
 
-	stats := make([]Stats, threads)
+	stats := make([][]Stats, threads)
+	tasks := make([]uint64, threads)
 	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			w := newWorker(g, pl, cb, tid, &stop, opt.Breakdown.Thread())
+			// All of a thread's per-plan workers share one stage recorder:
+			// they run sequentially within the thread, so stage times
+			// attribute correctly across plans.
+			tb := opt.Breakdown.Thread()
+			ws := make([]*worker, len(pls))
+			for pi, pl := range pls {
+				var wcb Callback
+				if cb != nil {
+					pi := pi
+					wcb = func(ctx *Ctx, m *Match) { cb(ctx, pi, m) }
+				}
+				ws[pi] = newWorker(g, pl, wcb, tid, &stop, tb)
+			}
 			busyStart := time.Now()
+			// Accumulate locally: adjacent tasks[] slots share cache
+			// lines, and this counter bumps once per claimed vertex.
+			var done uint64
 			for {
 				i := next.Add(-1)
 				if i < 0 || stop.Load() {
 					break
 				}
-				w.runTask(uint32(i))
-				w.stats.Tasks++
+				for _, w := range ws {
+					w.runTask(uint32(i))
+				}
+				done++
 			}
-			w.tb.Close()
+			tasks[tid] = done
+			tb.Close()
 			finish := time.Now()
 			opt.LoadBalance.Report(tid, finish.Sub(busyStart), finish)
-			stats[tid] = w.stats
+			stats[tid] = make([]Stats, len(pls))
+			for pi, w := range ws {
+				stats[tid][pi] = w.stats
+			}
 		}(t)
 	}
 	wg.Wait()
 
-	var total Stats
-	for _, s := range stats {
-		total.Matches += s.Matches
-		total.CoreMatches += s.CoreMatches
-		total.Tasks += s.Tasks
+	for tid := range stats {
+		ms.Tasks += tasks[tid]
+		for pi, s := range stats[tid] {
+			ms.Per[pi].Matches += s.Matches
+			ms.Per[pi].CoreMatches += s.CoreMatches
+		}
 	}
-	total.Stopped = stop.Load()
-	total.MatchTime = time.Since(start)
-	total.Threads = threads
-	return total
+	for pi := range ms.Per {
+		// Per-plan snapshots share the batch-wide traversal figures so
+		// each reads as a complete Stats on its own.
+		ms.Per[pi].Tasks = ms.Tasks
+		ms.Per[pi].Stopped = stop.Load()
+		ms.Per[pi].MatchTime = time.Since(start)
+		ms.Per[pi].Threads = threads
+	}
+	ms.Stopped = stop.Load()
+	ms.MatchTime = time.Since(start)
+	return ms
 }
 
 // worker holds all per-thread state; tasks share nothing but the atomic

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"peregrine/internal/gen"
+	"peregrine/internal/pattern"
+	"peregrine/internal/plan"
+)
+
+func mustPlan(t *testing.T, p *pattern.Pattern) *plan.Plan {
+	t.Helper()
+	pl, err := plan.New(p, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// A batched run must produce, per plan, exactly the counts of running
+// each plan alone — while scanning the task space once, not once per
+// plan.
+func TestRunPlansMatchesSerialCounts(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 64, Edges: 140, Seed: 12})
+	pats := []*pattern.Pattern{
+		pattern.Clique(3),
+		pattern.Star(3),
+		pattern.Chain(4),
+		pattern.Cycle(4),
+	}
+	pls := make([]*plan.Plan, len(pats))
+	want := make([]uint64, len(pats))
+	var serialTasks uint64
+	for i, p := range pats {
+		pls[i] = mustPlan(t, p)
+		st := RunPlan(g, pls[i], nil, Options{})
+		want[i] = st.Matches
+		serialTasks += st.Tasks
+	}
+
+	ms := RunPlans(g, pls, nil, Options{})
+	for i := range pats {
+		if ms.Per[i].Matches != want[i] {
+			t.Errorf("plan %d (%v): batched = %d, serial = %d", i, pats[i], ms.Per[i].Matches, want[i])
+		}
+	}
+	if ms.Tasks != uint64(g.NumVertices()) {
+		t.Errorf("batched tasks = %d, want %d (one traversal)", ms.Tasks, g.NumVertices())
+	}
+	if serialTasks != uint64(len(pats))*uint64(g.NumVertices()) {
+		t.Fatalf("serial tasks = %d, want %d", serialTasks, len(pats)*int(g.NumVertices()))
+	}
+	if ms.Tasks >= serialTasks {
+		t.Errorf("batched run scanned %d tasks, serial loop %d; batching must scan fewer", ms.Tasks, serialTasks)
+	}
+}
+
+// Matches must arrive tagged with the producing plan's index, and a
+// plan listed twice is matched independently per occurrence.
+func TestRunPlansTagsAndDuplicates(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 48, Edges: 110, Seed: 11})
+	tri := mustPlan(t, pattern.Clique(3))
+	wedge := mustPlan(t, pattern.Star(3))
+	pls := []*plan.Plan{tri, wedge, tri} // triangle plan twice
+
+	var mu sync.Mutex
+	perPlan := make([]uint64, len(pls))
+	ms := RunPlans(g, pls, func(ctx *Ctx, pat int, m *Match) {
+		if m.Pattern != pls[pat].Pat {
+			t.Errorf("match tagged %d carries pattern %v, want %v", pat, m.Pattern, pls[pat].Pat)
+		}
+		mu.Lock()
+		perPlan[pat]++
+		mu.Unlock()
+	}, Options{})
+
+	for i := range pls {
+		if perPlan[i] != ms.Per[i].Matches {
+			t.Errorf("plan %d: callback saw %d matches, stats say %d", i, perPlan[i], ms.Per[i].Matches)
+		}
+	}
+	if perPlan[0] != perPlan[2] {
+		t.Errorf("duplicate plan counts differ: %d vs %d", perPlan[0], perPlan[2])
+	}
+	if total := ms.Matches(); total != perPlan[0]+perPlan[1]+perPlan[2] {
+		t.Errorf("MultiStats.Matches = %d, want %d", total, perPlan[0]+perPlan[1]+perPlan[2])
+	}
+}
+
+// An empty plan slice and an empty graph are both no-ops, and early
+// returns must still ship complete per-plan Stats snapshots: a
+// pre-cancelled context reports Stopped on every entry so callers
+// reading Per[i] (like peregrine.CountWithStats) can tell an aborted
+// run from a genuine zero count.
+func TestRunPlansEdgeCases(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 16, Edges: 30, Seed: 7})
+	ms := RunPlans(g, nil, nil, Options{})
+	if len(ms.Per) != 0 || ms.Tasks != 0 {
+		t.Errorf("empty plan slice: %+v", ms)
+	}
+
+	tri := mustPlan(t, pattern.Clique(3))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ms = RunPlans(g, []*plan.Plan{tri}, nil, Options{Context: ctx, Threads: 2})
+	if !ms.Stopped || !ms.Per[0].Stopped {
+		t.Errorf("pre-cancelled context: Stopped = %v, Per[0].Stopped = %v, want both true", ms.Stopped, ms.Per[0].Stopped)
+	}
+	if ms.Per[0].Threads != 2 {
+		t.Errorf("pre-cancelled context: Per[0].Threads = %d, want 2", ms.Per[0].Threads)
+	}
+
+	empty := gen.ErdosRenyi(gen.ERConfig{Vertices: 0, Edges: 0, Seed: 7})
+	ms = RunPlans(empty, []*plan.Plan{tri}, nil, Options{Threads: 3})
+	if ms.Per[0].Threads != 3 || ms.Per[0].Stopped {
+		t.Errorf("empty graph: Per[0] = %+v, want Threads=3, not stopped", ms.Per[0])
+	}
+}

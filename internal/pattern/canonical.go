@@ -17,6 +17,16 @@ func (p *Pattern) CanonicalCode() string {
 	return code
 }
 
+// LabelCode encodes l losslessly as 4 big-endian bytes, shifted by +1
+// so Wildcard (-1) encodes as zero. Every structural key built from
+// labels — canonical codes here, the plan cache's exact keys — must
+// use this one encoding: distinct labels sharing a code would silently
+// hand one label's cached plan to another.
+func LabelCode(l Label) [4]byte {
+	v := uint32(int32(l) + 1)
+	return [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
 // CanonicalForm returns the canonical code together with a permutation
 // achieving it: perm[v] is the canonical position of vertex v, so
 // p.Renumber(perm) has code equal to the canonical encoding order. FSM
@@ -31,7 +41,7 @@ func (p *Pattern) CanonicalForm() (string, []int) {
 	// by the edge colors to positions 0..i-1.
 	rowLen := make([]int, n)
 	for i := range rowLen {
-		rowLen[i] = 2 + i // 2 bytes label, i bytes of colors
+		rowLen[i] = 4 + i // 4 bytes label, i bytes of colors
 	}
 	total := 0
 	for _, l := range rowLen {
@@ -46,12 +56,6 @@ func (p *Pattern) CanonicalForm() (string, []int) {
 	perm := make([]int, 0, n) // perm[i] = original vertex at canonical position i
 	bestPerm := make([]int, n)
 	used := make([]bool, n)
-
-	encodeLabel := func(l Label) (byte, byte) {
-		// Shift by +1 so Wildcard (-1) encodes as 0; labels are small.
-		v := uint16(int32(l) + 1)
-		return byte(v >> 8), byte(v)
-	}
 
 	var rec func(pos, curLen int, worse bool)
 	rec = func(pos, curLen int, worse bool) {
@@ -68,10 +72,10 @@ func (p *Pattern) CanonicalForm() (string, []int) {
 			}
 			// Build this vertex's row.
 			row := cur[curLen : curLen+rowLen[pos]]
-			hi, lo := encodeLabel(p.labels[v])
-			row[0], row[1] = hi, lo
+			lb := LabelCode(p.labels[v])
+			copy(row, lb[:])
 			for i := 0; i < pos; i++ {
-				row[2+i] = byte(p.kind[v][perm[i]])
+				row[4+i] = byte(p.kind[v][perm[i]])
 			}
 			// Compare against best's corresponding segment.
 			cmp := 0

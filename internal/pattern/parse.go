@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -55,6 +56,9 @@ func Parse(s string) (*Pattern, error) {
 			}
 			if l < 0 {
 				return nil, fmt.Errorf("pattern: negative label in %q", tok)
+			}
+			if l > math.MaxInt32 {
+				return nil, fmt.Errorf("pattern: label %d in %q exceeds %d", l, tok, math.MaxInt32)
 			}
 			labels = append(labels, labelAssign{u, Label(l)})
 			if u > maxV {

@@ -45,6 +45,7 @@ func TestParseRoundTrip(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	for _, bad := range []string{
 		"", "0-0", "x-1", "0-", "[0]", "[a:1]", "0?1", "0-17",
+		"0-1 [0:2147483648]", // label beyond int32 would truncate silently
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) should fail", bad)
@@ -121,6 +122,11 @@ func TestCanonicalCodeDistinguishes(t *testing.T) {
 		{Cycle(4), MustParse("0-1 1-2 2-3 3-0 0-2")},
 		{MustParse("0-1 0-2"), MustParse("0-1 0!2 1-2")},
 		{MustParse("0-1 [0:1]"), MustParse("0-1 [0:2]")},
+		// Labels use the full int32 range: 65535 once collided with
+		// Wildcard (16-bit truncation), handing the unlabeled
+		// pattern's cached plan to the labeled query.
+		{MustParse("0-1 [0:65535]"), MustParse("0-1")},
+		{MustParse("0-1 [0:65536]"), MustParse("0-1 [0:0]")},
 	}
 	for _, pq := range pairs {
 		if pq[0].CanonicalCode() == pq[1].CanonicalCode() {

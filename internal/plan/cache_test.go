@@ -1,0 +1,216 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"peregrine/internal/pattern"
+)
+
+// Isomorphic patterns in any vertex numbering must share one cached
+// plan, with a remap that carries plan-vertex matches back to the
+// caller's numbering.
+func TestCacheSharesIsomorphicPatterns(t *testing.T) {
+	c := NewCache()
+	a := pattern.MustParse("0-1 1-2 [0:1] [1:2] [2:3]")
+	b := pattern.MustParse("2-1 1-0 [2:1] [1:2] [0:3]") // a, renumbered 0<->2
+
+	ca, err := c.Get(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := c.Get(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Plan != cb.Plan {
+		t.Fatal("isomorphic patterns did not share a plan")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	if ca.Remap != nil {
+		t.Fatalf("first insertion got remap %v, want identity (nil)", ca.Remap)
+	}
+	if cb.Remap == nil {
+		t.Fatal("renumbered pattern got no remap")
+	}
+	// The remap must be a label-preserving isomorphism from b into the
+	// plan's pattern (which is a).
+	for v := 0; v < b.N(); v++ {
+		if b.LabelOf(v) != ca.Plan.Pat.LabelOf(cb.Remap[v]) {
+			t.Errorf("remap[%d] = %d changes label", v, cb.Remap[v])
+		}
+		for u := 0; u < b.N(); u++ {
+			if b.EdgeKindOf(v, u) != ca.Plan.Pat.EdgeKindOf(cb.Remap[v], cb.Remap[u]) {
+				t.Errorf("remap does not preserve edge (%d,%d)", v, u)
+			}
+		}
+	}
+}
+
+// Symmetry-breaking and unbroken plans must not alias.
+// Label-distinct patterns must never share a cache entry — on either
+// key path. Label 65535 once collided with Wildcard under a 16-bit
+// label encoding, so an unlabeled pattern's plan answered the labeled
+// query.
+func TestCacheKeySeparatesLabels(t *testing.T) {
+	c := NewCache()
+	mk := func(n int, label pattern.Label) *pattern.Pattern {
+		p := pattern.Chain(n)
+		if label != pattern.Wildcard {
+			p.SetLabel(0, label)
+		}
+		return p
+	}
+	// n=3 exercises the canonical key, n=9 the exact (>8-vertex) key.
+	for _, n := range []int{3, 9} {
+		plain, err := c.Get(mk(n, pattern.Wildcard), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range []pattern.Label{65535, 65536, 1<<31 - 1} {
+			labeled, err := c.Get(mk(n, l), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if labeled.Plan == plain.Plan {
+				t.Errorf("n=%d label %d shares the unlabeled pattern's plan", n, l)
+			}
+		}
+	}
+}
+
+func TestCacheKeySeparatesOptions(t *testing.T) {
+	c := NewCache()
+	p := pattern.Clique(3)
+	broken, err := c.Get(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbroken, err := c.Get(p, Options{NoSymmetryBreaking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.Plan == unbroken.Plan {
+		t.Fatal("options ignored by cache key")
+	}
+	if len(broken.Plan.Conds) == 0 || len(unbroken.Plan.Conds) != 0 {
+		t.Fatalf("conds = %v / %v, want broken/unbroken", broken.Plan.Conds, unbroken.Plan.Conds)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache has %d entries, want 2", c.Len())
+	}
+}
+
+// Patterns past the canonicalization bound must still cache — by exact
+// structural key — without triggering the factorial branch-and-bound a
+// fully symmetric large pattern would cause. A 14-clique key via
+// CanonicalForm would explore 14! orderings; via the exact key this
+// test finishes instantly.
+func TestCacheLargeSymmetricPattern(t *testing.T) {
+	c := NewCache()
+	done := make(chan error, 1)
+	go func() {
+		first, err := c.Get(pattern.Clique(14), Options{})
+		if err != nil {
+			done <- err
+			return
+		}
+		again, err := c.Get(pattern.Clique(14), Options{})
+		if err == nil && again.Plan != first.Plan {
+			err = fmt.Errorf("repeated 14-clique did not hit the cache")
+		}
+		if err == nil && again.Remap != nil {
+			err = fmt.Errorf("exact-keyed hit returned remap %v", again.Remap)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("14-clique cache Get did not finish; canonicalization bound not applied")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+// A bounded cache evicts rather than growing past its cap, and evicted
+// shapes recompile correctly on the next Get.
+func TestCacheBounded(t *testing.T) {
+	c := NewCacheSize(3)
+	var pats []*pattern.Pattern
+	for k := 0; k < 6; k++ {
+		p := pattern.Chain(3)
+		p.SetLabel(0, pattern.Label(k)) // six distinct shapes
+		pats = append(pats, p)
+	}
+	for _, p := range pats {
+		if _, err := c.Get(p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() > 3 {
+			t.Fatalf("cache grew to %d entries, cap 3", c.Len())
+		}
+	}
+	// Every shape still resolves after evictions.
+	for i, p := range pats {
+		got, err := c.Get(p, Options{})
+		if err != nil {
+			t.Fatalf("pattern %d after eviction: %v", i, err)
+		}
+		if !got.Plan.Pat.Equal(p) && got.Remap == nil {
+			t.Errorf("pattern %d: recompiled plan mismatched with no remap", i)
+		}
+	}
+}
+
+// Concurrent Gets of the same and different patterns must be safe (run
+// under -race) and must converge on one plan per shape.
+func TestCacheConcurrentGet(t *testing.T) {
+	c := NewCache()
+	pats := []*pattern.Pattern{
+		pattern.Clique(3),
+		pattern.Clique(4),
+		pattern.Star(4),
+		pattern.Chain(4),
+	}
+	const workers = 16
+	plans := make([][]*Plan, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			plans[w] = make([]*Plan, len(pats))
+			for i, p := range pats {
+				got, err := c.Get(p, Options{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				plans[w][i] = got.Plan
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range pats {
+		for w := 1; w < workers; w++ {
+			if plans[w][i] != plans[0][i] {
+				t.Errorf("pattern %d: worker %d got a different plan instance", i, w)
+			}
+		}
+	}
+	if c.Len() != len(pats) {
+		t.Errorf("cache has %d entries, want %d", c.Len(), len(pats))
+	}
+	if hits, misses := c.Stats(); hits+misses != workers*uint64(len(pats)) {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, workers*len(pats))
+	}
+}

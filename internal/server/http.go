@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
+	"time"
 )
 
 // maxBodyBytes bounds POST bodies; patterns and parameters are tiny.
@@ -12,22 +14,40 @@ const maxBodyBytes = 1 << 20
 
 // Server wires the graph registry and job manager behind the HTTP API:
 //
-//	POST   /v1/query     submit a query (Wait: true blocks for the result)
-//	GET    /v1/jobs      list jobs, newest first
-//	GET    /v1/jobs/{id} poll one job
-//	DELETE /v1/jobs/{id} cancel a job, stopping its engine workers
-//	GET    /v1/graphs    list registered graphs
-//	GET    /healthz      liveness probe
+//	POST   /v1/query            submit a query (Wait: true blocks for the result)
+//	GET    /v1/jobs             list job summaries, newest first
+//	GET    /v1/jobs/{id}        poll one job
+//	GET    /v1/jobs/{id}/stream consume a streaming matches job as NDJSON
+//	DELETE /v1/jobs/{id}        cancel a job, stopping its engine workers
+//	GET    /v1/graphs           list registered graphs
+//	GET    /healthz             liveness probe
 type Server struct {
 	registry *Registry
 	jobs     *Manager
+
+	// streamAttachTimeout (nanoseconds) cancels a streaming job whose
+	// NDJSON stream was never consumed: its workers park on the full
+	// stream channel and would otherwise pin goroutines and the graph
+	// until an explicit DELETE. Zero disables the watchdog. Atomic so
+	// it can be reconfigured while requests are in flight.
+	streamAttachTimeout atomic.Int64
 }
+
+// DefaultStreamAttachTimeout is how long a streaming job waits for its
+// stream consumer before being cancelled.
+const DefaultStreamAttachTimeout = time.Minute
 
 // NewServer returns a server over reg whose jobs descend from base:
 // cancelling base aborts every running query (graceful shutdown).
 func NewServer(base context.Context, reg *Registry) *Server {
-	return &Server{registry: reg, jobs: NewManager(base)}
+	s := &Server{registry: reg, jobs: NewManager(base)}
+	s.streamAttachTimeout.Store(int64(DefaultStreamAttachTimeout))
+	return s
 }
+
+// SetStreamAttachTimeout overrides the stream-consumer watchdog
+// (mainly for tests); 0 disables it.
+func (s *Server) SetStreamAttachTimeout(d time.Duration) { s.streamAttachTimeout.Store(int64(d)) }
 
 // Registry exposes the server's graph registry for startup registration.
 func (s *Server) Registry() *Registry { return s.registry }
@@ -41,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -90,13 +111,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// The graph is resolved inside the job so a slow first load (large
 	// edge-list file) does not block the POST: async clients get their
 	// 202 immediately and load failures surface as failed jobs.
-	job := s.jobs.Submit(req, func(ctx context.Context) (*Result, error) {
+	run := func(ctx context.Context) (*Result, error) {
 		g, err := s.registry.Get(req.Graph)
 		if err != nil {
+			if q.stream != nil {
+				close(q.stream.ch) // unblock a waiting stream consumer
+			}
 			return nil, err
 		}
 		return q.run(ctx, g)
-	})
+	}
+	var job *Job
+	if q.stream != nil {
+		job = s.jobs.SubmitStream(req, q.stream, run)
+		if d := time.Duration(s.streamAttachTimeout.Load()); d > 0 {
+			st := q.stream
+			time.AfterFunc(d, func() {
+				select {
+				case <-job.Done():
+					// Finished: no workers are parked on the channel, and
+					// its buffered rows stay deliverable to a late consumer
+					// until the job's TTL — leave the stream unclaimed.
+					return
+				default:
+				}
+				// Winning the claim proves no consumer ever arrived, so
+				// cancelling can't kill a live stream. The claim is
+				// watchdog-flavored: once the job is terminal, a late
+				// consumer may still reclaim it and drain the buffer.
+				if st.watchdogClaim() {
+					job.Cancel()
+				}
+			})
+		}
+	} else {
+		job = s.jobs.Submit(req, run)
+	}
 	if !req.Wait {
 		writeJSON(w, http.StatusAccepted, job.Info())
 		return
@@ -123,6 +173,107 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// handleJobStream attaches to a streaming matches job and relays its
+// matches as NDJSON, one object per line, flushed per row so clients
+// see matches as the engine finds them. The stream ends with a
+// StreamEnd row carrying the job's final status. Exactly one consumer
+// may attach; a dropped client cancels the job so its workers stop
+// promptly instead of mining into a dead socket.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	st := job.Stream()
+	if st == nil {
+		writeError(w, http.StatusBadRequest,
+			"job %q has no match stream; submit a matches query with \"stream\": true", job.ID())
+		return
+	}
+	if !st.attach() {
+		// The watchdog's claim is not consumption: it implies the job
+		// was just cancelled, so termination is imminent and the
+		// buffered rows stay deliverable — wait it out and reclaim
+		// rather than 409 a consumer that raced the stop flag. A claim
+		// held by a real consumer is the only genuine conflict.
+		if !st.watchdogClaimed() {
+			writeError(w, http.StatusConflict, "stream for job %q already consumed", job.ID())
+			return
+		}
+		<-job.Done()
+		if !st.reclaim() {
+			writeError(w, http.StatusConflict, "stream for job %q already consumed", job.ID())
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now: the first match may be minutes away
+		// on a big mine, and an unflushed 200 looks like a hang to the
+		// client and to proxies in between.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	var relayed uint64
+	closed := false
+	for !closed {
+		select {
+		case row, open := <-st.ch:
+			if !open {
+				closed = true
+				break
+			}
+			if err := enc.Encode(row); err != nil {
+				job.Cancel()
+				return
+			}
+			relayed++
+			// Relay everything already buffered before flushing: one
+			// flush per ready batch, not one write syscall per match,
+			// while the blocking select above keeps first-row latency.
+		drain:
+			for {
+				select {
+				case row, open := <-st.ch:
+					if !open {
+						closed = true
+						break drain
+					}
+					if err := enc.Encode(row); err != nil {
+						job.Cancel()
+						return
+					}
+					relayed++
+				default:
+					break drain
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			job.Cancel()
+			return
+		}
+	}
+	// Mining finished and drained; report the terminal state. Count is
+	// the rows this stream actually carried — on a cancelled job that
+	// is the drained backlog, not the engine's racy found-before-stop
+	// tally.
+	<-job.Done()
+	info := job.Info()
+	end := StreamEnd{Done: true, Status: info.Status, Count: relayed, Error: info.Error}
+	_ = enc.Encode(end)
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

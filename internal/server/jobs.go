@@ -31,6 +31,18 @@ type JobInfo struct {
 	Finished *time.Time `json:"finished,omitempty"`
 }
 
+// JobSummary is one row of GET /v1/jobs: enough for an operator to see
+// in-flight work at a glance without shipping each job's full request
+// and result payloads.
+type JobSummary struct {
+	ID       string     `json:"id"`
+	Status   Status     `json:"status"`
+	Graph    string     `json:"graph"`
+	Kind     string     `json:"kind"`
+	Created  time.Time  `json:"created"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
 // Job is one asynchronous query execution. The mining itself runs on a
 // dedicated goroutine whose engine workers observe the job's context
 // through core.Options.Context, so Cancel observably stops them.
@@ -38,6 +50,7 @@ type Job struct {
 	id     string
 	cancel context.CancelFunc
 	done   chan struct{}
+	stream *MatchStream // non-nil for streaming matches jobs
 
 	mu       sync.Mutex
 	status   Status
@@ -53,6 +66,9 @@ func (j *Job) ID() string { return j.id }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Stream returns the job's match stream, or nil for non-streaming jobs.
+func (j *Job) Stream() *MatchStream { return j.stream }
 
 // Cancel requests termination; the engine's workers unwind at their
 // next stop-flag check. Cancelling a finished job is a no-op.
@@ -107,12 +123,14 @@ func (j *Job) finish(res *Result, err error, ctx context.Context) {
 
 // Manager tracks all jobs of one server. Submitted jobs run immediately
 // on their own goroutine; the engine's own scheduler bounds parallelism
-// per query via Request.Threads.
+// per query via Request.Threads. Finished jobs are evicted after the
+// configured TTL so the job map stays bounded under sustained traffic.
 type Manager struct {
 	base context.Context
 
 	mu   sync.Mutex
 	seq  uint64
+	ttl  time.Duration
 	jobs map[string]*Job
 }
 
@@ -125,13 +143,35 @@ func NewManager(base context.Context) *Manager {
 	return &Manager{base: base, jobs: make(map[string]*Job)}
 }
 
+// SetTTL sets how long finished jobs remain queryable before eviction.
+// Zero (the default) disables eviction. The TTL applies to jobs that
+// finish after the call; in-flight and already-finished jobs keep the
+// TTL they finished under.
+func (m *Manager) SetTTL(d time.Duration) {
+	m.mu.Lock()
+	m.ttl = d
+	m.mu.Unlock()
+}
+
 // Submit registers a job for req and starts run on its own goroutine.
 // run receives the job's context and must honor its cancellation.
 func (m *Manager) Submit(req Request, run func(ctx context.Context) (*Result, error)) *Job {
+	return m.submit(req, nil, run)
+}
+
+// SubmitStream is Submit for a streaming matches job: st is exposed
+// through Job.Stream for GET /v1/jobs/{id}/stream, and run is expected
+// to publish matches to it (and close it) as they are found.
+func (m *Manager) SubmitStream(req Request, st *MatchStream, run func(ctx context.Context) (*Result, error)) *Job {
+	return m.submit(req, st, run)
+}
+
+func (m *Manager) submit(req Request, st *MatchStream, run func(ctx context.Context) (*Result, error)) *Job {
 	ctx, cancel := context.WithCancel(m.base)
 	j := &Job{
 		cancel:  cancel,
 		done:    make(chan struct{}),
+		stream:  st,
 		status:  StatusPending,
 		req:     req,
 		created: time.Now(),
@@ -148,8 +188,21 @@ func (m *Manager) Submit(req Request, run func(ctx context.Context) (*Result, er
 		res, err := run(ctx)
 		j.finish(res, err, ctx)
 		close(j.done)
+		m.mu.Lock()
+		ttl := m.ttl
+		m.mu.Unlock()
+		if ttl > 0 {
+			time.AfterFunc(ttl, func() { m.evict(j.id) })
+		}
 	}()
 	return j
+}
+
+// evict drops a finished job from the map; GETs return 404 afterwards.
+func (m *Manager) evict(id string) {
+	m.mu.Lock()
+	delete(m.jobs, id)
+	m.mu.Unlock()
 }
 
 // Get returns the job with the given id.
@@ -160,17 +213,28 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// List snapshots every job, newest first.
-func (m *Manager) List() []JobInfo {
+// List snapshots every job as a summary row, newest first. Full
+// requests and results stay behind GET /v1/jobs/{id}; the listing is
+// deliberately light so operators can poll it against a server holding
+// large buffered results.
+func (m *Manager) List() []JobSummary {
 	m.mu.Lock()
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
 	}
 	m.mu.Unlock()
-	out := make([]JobInfo, len(jobs))
+	out := make([]JobSummary, len(jobs))
 	for i, j := range jobs {
-		out[i] = j.Info()
+		info := j.Info()
+		out[i] = JobSummary{
+			ID:       info.ID,
+			Status:   info.Status,
+			Graph:    info.Request.Graph,
+			Kind:     info.Request.Kind,
+			Created:  info.Created,
+			Finished: info.Finished,
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Created.After(out[j].Created) })
 	return out

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"peregrine"
 	"peregrine/internal/core"
 	"peregrine/internal/fsm"
 	"peregrine/internal/graph"
@@ -17,12 +19,14 @@ import (
 const (
 	KindCount   = "count"   // number of matches (the paper's count())
 	KindExists  = "exists"  // existence query with early termination (§5.3)
-	KindMatches = "matches" // up to MaxMatches concrete mappings (match())
+	KindMatches = "matches" // concrete mappings: buffered, or streamed as NDJSON
 	KindFSM     = "fsm"     // frequent subgraph mining (§3.2.1)
 )
 
-// DefaultMaxMatches caps the mappings returned by a matches query when
-// the request does not set MaxMatches.
+// DefaultMaxMatches caps the mappings returned by a buffered matches
+// query when the request does not set MaxMatches. Streaming matches
+// queries default to unlimited instead — that is what the stream is
+// for.
 const DefaultMaxMatches = 100
 
 // Request is the body of POST /v1/query.
@@ -32,15 +36,24 @@ type Request struct {
 	// Kind selects the query: count, exists, matches, or fsm.
 	Kind string `json:"kind"`
 	// Pattern is the textual pattern ("0-1 1-2 2-0", see ParsePattern);
-	// required for every kind except fsm.
+	// required for every kind except fsm unless Patterns is set.
 	Pattern string `json:"pattern,omitempty"`
+	// Patterns is a pattern list. All patterns are compiled once and
+	// matched in a single traversal of the graph (matching-order union);
+	// count queries report per-pattern results.
+	Patterns []string `json:"patterns,omitempty"`
+	// Stream makes a matches query deliver mappings incrementally over
+	// GET /v1/jobs/{id}/stream as NDJSON instead of buffering them in
+	// the job result.
+	Stream bool `json:"stream,omitempty"`
 	// VertexInduced matches with vertex-induced semantics (Theorem 3.1).
 	VertexInduced bool `json:"vertexInduced,omitempty"`
 	// NoSymmetryBreaking enumerates every automorphic variant (PRG-U).
 	NoSymmetryBreaking bool `json:"noSymmetryBreaking,omitempty"`
 	// Threads bounds this query's workers; 0 means GOMAXPROCS.
 	Threads int `json:"threads,omitempty"`
-	// MaxMatches caps returned mappings for matches queries.
+	// MaxMatches caps returned mappings for matches queries. For
+	// streaming queries 0 means unlimited.
 	MaxMatches int `json:"maxMatches,omitempty"`
 	// MaxEdges and Support parameterize fsm queries.
 	MaxEdges int `json:"maxEdges,omitempty"`
@@ -50,13 +63,20 @@ type Request struct {
 	Wait bool `json:"wait,omitempty"`
 }
 
+// PatternCount is one per-pattern row of a batched count result.
+type PatternCount struct {
+	Pattern string `json:"pattern"`
+	Count   uint64 `json:"count"`
+}
+
 // Result carries the outcome of one query.
 type Result struct {
-	Count    uint64            `json:"count,omitempty"`
-	Exists   *bool             `json:"exists,omitempty"`
-	Matches  [][]uint32        `json:"matches,omitempty"`
-	Frequent []FrequentPattern `json:"frequent,omitempty"`
-	Stats    *RunStats         `json:"stats,omitempty"`
+	Count      uint64            `json:"count,omitempty"`
+	PerPattern []PatternCount    `json:"perPattern,omitempty"`
+	Exists     *bool             `json:"exists,omitempty"`
+	Matches    [][]uint32        `json:"matches,omitempty"`
+	Frequent   []FrequentPattern `json:"frequent,omitempty"`
+	Stats      *RunStats         `json:"stats,omitempty"`
 }
 
 // FrequentPattern is one fsm result row.
@@ -65,7 +85,9 @@ type FrequentPattern struct {
 	Support int    `json:"support"`
 }
 
-// RunStats is the JSON rendering of core.Stats.
+// RunStats is the JSON rendering of core.Stats. For batched
+// multi-pattern queries it aggregates across patterns; tasks counts the
+// single shared traversal, not one per pattern.
 type RunStats struct {
 	Matches     uint64 `json:"matches"`
 	CoreMatches uint64 `json:"coreMatches"`
@@ -76,49 +98,98 @@ type RunStats struct {
 	MatchMicros int64  `json:"matchMicros"`
 }
 
-func statsJSON(st core.Stats) *RunStats {
-	return &RunStats{
-		Matches:     st.Matches,
-		CoreMatches: st.CoreMatches,
-		Tasks:       st.Tasks,
-		Threads:     st.Threads,
-		Stopped:     st.Stopped,
-		PlanMicros:  st.PlanTime.Microseconds(),
-		MatchMicros: st.MatchTime.Microseconds(),
+// multiStats aggregates batched execution stats; plan time is the cost
+// of compiling the request's patterns at POST time, which a plan-cache
+// hit reduces to the canonicalization lookup.
+func (q *compiledQuery) multiStats(ms peregrine.MultiStats) *RunStats {
+	agg := &RunStats{
+		Matches:     ms.Matches(),
+		Tasks:       ms.Tasks,
+		Threads:     ms.Threads,
+		Stopped:     ms.Stopped,
+		PlanMicros:  q.planTime.Microseconds(),
+		MatchMicros: ms.MatchTime.Microseconds(),
 	}
+	for _, s := range ms.Per {
+		agg.CoreMatches += s.CoreMatches
+	}
+	return agg
 }
 
-// compiledQuery is a validated request: pattern parsed (and converted
-// for vertex-induced semantics), parameters defaulted.
+// compiledQuery is a validated request: patterns parsed (and converted
+// for vertex-induced semantics), plans compiled through the shared
+// plan cache, parameters defaulted.
 type compiledQuery struct {
-	req Request
-	pat *pattern.Pattern // nil for fsm
+	req      Request
+	texts    []string                 // pattern text per prepared pattern
+	prepared *peregrine.PreparedQuery // nil for fsm
+	stream   *MatchStream             // non-nil when req.Stream
+	planTime time.Duration            // parse + plan-compilation cost at POST time
 }
 
-// compile validates req and parses its pattern. Errors are client
-// errors (HTTP 400); the graph is resolved separately so unknown graphs
-// can map to 404.
+// compile validates req, parses its patterns, and compiles their
+// exploration plans. Errors are client errors (HTTP 400); the graph is
+// resolved separately so unknown graphs can map to 404.
 func compile(req Request) (*compiledQuery, error) {
 	switch req.Kind {
 	case KindCount, KindExists, KindMatches:
-		if req.Pattern == "" {
+		texts := req.Patterns
+		if req.Pattern != "" {
+			if len(texts) > 0 {
+				return nil, fmt.Errorf("set either pattern or patterns, not both")
+			}
+			texts = []string{req.Pattern}
+		}
+		if len(texts) == 0 {
 			return nil, fmt.Errorf("query kind %q requires a pattern", req.Kind)
 		}
-		p, err := pattern.Parse(req.Pattern)
+		if req.Stream && req.Kind != KindMatches {
+			return nil, fmt.Errorf("stream applies only to matches queries")
+		}
+		if req.Stream && req.Wait {
+			return nil, fmt.Errorf("streaming queries are asynchronous; consume GET /v1/jobs/{id}/stream instead of wait")
+		}
+		if req.Kind == KindMatches && len(texts) > 1 && !req.Stream {
+			return nil, fmt.Errorf("buffered matches queries take one pattern; set \"stream\": true for a multi-pattern match stream")
+		}
+		planStart := time.Now()
+		pats := make([]*pattern.Pattern, len(texts))
+		for i, text := range texts {
+			p, err := pattern.Parse(text)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			if !p.ConnectedRegular() {
+				return nil, fmt.Errorf("pattern %q is not connected", text)
+			}
+			if req.VertexInduced {
+				p = pattern.VertexInduced(p)
+			}
+			pats[i] = p
+		}
+		// Prepare under the request's plan-affecting options so the
+		// plans compiled (and cached) here are the ones the run uses;
+		// planTime then measures the real compilation cost.
+		var prepOpts []peregrine.Option
+		if req.NoSymmetryBreaking {
+			prepOpts = append(prepOpts, peregrine.WithoutSymmetryBreaking())
+		}
+		prepared, err := peregrine.PrepareWith(prepOpts, pats...)
 		if err != nil {
 			return nil, err
 		}
-		if err := p.Validate(); err != nil {
-			return nil, err
+		q := &compiledQuery{req: req, texts: texts, prepared: prepared, planTime: time.Since(planStart)}
+		if req.Stream {
+			q.stream = newMatchStream()
 		}
-		if !p.ConnectedRegular() {
-			return nil, fmt.Errorf("pattern %q is not connected", req.Pattern)
-		}
-		if req.VertexInduced {
-			p = pattern.VertexInduced(p)
-		}
-		return &compiledQuery{req: req, pat: p}, nil
+		return q, nil
 	case KindFSM:
+		if req.Pattern != "" || len(req.Patterns) > 0 || req.Stream {
+			return nil, fmt.Errorf("fsm queries take no patterns and no stream")
+		}
 		if req.MaxEdges < 1 {
 			return nil, fmt.Errorf("fsm requires maxEdges >= 1")
 		}
@@ -133,29 +204,52 @@ func compile(req Request) (*compiledQuery, error) {
 	}
 }
 
-// run executes the compiled query on g, honoring ctx cancellation: the
+// options renders the request's execution knobs as engine options; the
 // context reaches every engine worker through core.Options.Context.
-func (q *compiledQuery) run(ctx context.Context, g *graph.Graph) (*Result, error) {
-	opts := core.Options{
-		Threads:            q.req.Threads,
-		NoSymmetryBreaking: q.req.NoSymmetryBreaking,
-		Context:            ctx,
+func (q *compiledQuery) options(ctx context.Context) []peregrine.Option {
+	opts := []peregrine.Option{peregrine.WithContext(ctx)}
+	if q.req.Threads > 0 {
+		opts = append(opts, peregrine.WithThreads(q.req.Threads))
 	}
+	if q.req.NoSymmetryBreaking {
+		opts = append(opts, peregrine.WithoutSymmetryBreaking())
+	}
+	return opts
+}
+
+// perPattern renders per-pattern counts for list-form (patterns)
+// requests; single-pattern string-form results keep their original
+// shape.
+func (q *compiledQuery) perPattern(ms peregrine.MultiStats) []PatternCount {
+	// Any list-form request gets per-pattern rows — even a list of one —
+	// so clients never have to special-case the list's length.
+	if len(q.req.Patterns) == 0 {
+		return nil
+	}
+	out := make([]PatternCount, len(q.texts))
+	for i, text := range q.texts {
+		out[i] = PatternCount{Pattern: text, Count: ms.Per[i].Matches}
+	}
+	return out
+}
+
+// run executes the compiled query on g, honoring ctx cancellation.
+func (q *compiledQuery) run(ctx context.Context, g *graph.Graph) (*Result, error) {
 	var res *Result
 	var err error
 	switch q.req.Kind {
 	case KindCount:
-		var st core.Stats
-		st, err = core.Run(g, q.pat, nil, opts)
-		if err == nil {
-			res = &Result{Count: st.Matches, Stats: statsJSON(st)}
-		}
+		res, err = q.runCount(ctx, g)
 	case KindExists:
-		res, err = q.runExists(g, opts)
+		res, err = q.runExists(ctx, g)
 	case KindMatches:
-		res, err = q.runMatches(g, opts)
+		if q.stream != nil {
+			res, err = q.runStream(ctx, g)
+		} else {
+			res, err = q.runMatches(ctx, g)
+		}
 	case KindFSM:
-		res, err = q.runFSM(g, opts)
+		res, err = q.runFSM(ctx, g)
 	}
 	if err != nil {
 		return nil, err
@@ -173,29 +267,35 @@ func (q *compiledQuery) run(ctx context.Context, g *graph.Graph) (*Result, error
 	return res, nil
 }
 
-func (q *compiledQuery) runExists(g *graph.Graph, opts core.Options) (*Result, error) {
-	found := false
-	var mu sync.Mutex
-	st, err := core.Run(g, q.pat, func(c *core.Ctx, m *core.Match) {
-		mu.Lock()
-		found = true
-		mu.Unlock()
-		c.Stop()
-	}, opts)
+func (q *compiledQuery) runCount(ctx context.Context, g *graph.Graph) (*Result, error) {
+	_, ms, err := q.prepared.CountEachWithStats(g, q.options(ctx)...)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Exists: &found, Count: st.Matches, Stats: statsJSON(st)}, nil
+	return &Result{Count: ms.Matches(), PerPattern: q.perPattern(ms), Stats: q.multiStats(ms)}, nil
 }
 
-func (q *compiledQuery) runMatches(g *graph.Graph, opts core.Options) (*Result, error) {
+func (q *compiledQuery) runExists(ctx context.Context, g *graph.Graph) (*Result, error) {
+	var found atomic.Bool
+	ms, err := q.prepared.ForEach(g, func(c *peregrine.Ctx, pat int, m *peregrine.Match) {
+		found.Store(true)
+		c.Stop()
+	}, q.options(ctx)...)
+	if err != nil {
+		return nil, err
+	}
+	f := found.Load()
+	return &Result{Exists: &f, Count: ms.Matches(), Stats: q.multiStats(ms)}, nil
+}
+
+func (q *compiledQuery) runMatches(ctx context.Context, g *graph.Graph) (*Result, error) {
 	limit := q.req.MaxMatches
 	if limit <= 0 {
 		limit = DefaultMaxMatches
 	}
 	var mu sync.Mutex
 	var matches [][]uint32
-	st, err := core.Run(g, q.pat, func(c *core.Ctx, m *core.Match) {
+	ms, err := q.prepared.ForEach(g, func(c *peregrine.Ctx, pat int, m *peregrine.Match) {
 		mu.Lock()
 		if len(matches) < limit {
 			matches = append(matches, m.OrigMapping(g))
@@ -205,15 +305,75 @@ func (q *compiledQuery) runMatches(g *graph.Graph, opts core.Options) (*Result, 
 		if full {
 			c.Stop()
 		}
-	}, opts)
+	}, q.options(ctx)...)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Count: st.Matches, Matches: matches, Stats: statsJSON(st)}, nil
+	return &Result{Count: ms.Matches(), Matches: matches, Stats: q.multiStats(ms)}, nil
 }
 
-func (q *compiledQuery) runFSM(g *graph.Graph, opts core.Options) (*Result, error) {
+// runStream mines matches into the job's stream channel. Engine
+// workers block when the channel's backlog fills, so an unconsumed or
+// slow stream throttles the mine instead of growing memory; the job's
+// context (DELETE, client disconnect, shutdown) unblocks and stops
+// them.
+func (q *compiledQuery) runStream(ctx context.Context, g *graph.Graph) (*Result, error) {
+	st := q.stream
+	defer close(st.ch)
+	limit := uint64(0)
+	if q.req.MaxMatches > 0 {
+		limit = uint64(q.req.MaxMatches)
+	}
+	var sent atomic.Uint64
+	delivered := make([]atomic.Uint64, len(q.texts))
+	ms, err := q.prepared.ForEach(g, func(c *peregrine.Ctx, pat int, m *peregrine.Match) {
+		if limit > 0 {
+			// Reserve a slot before sending so the cap on delivered rows
+			// is exact even while concurrent workers race the stop flag.
+			n := sent.Add(1)
+			if n > limit {
+				c.Stop()
+				return
+			}
+			if n == limit {
+				c.Stop()
+			}
+		}
+		row := StreamMatch{Pattern: q.texts[pat], Index: pat, Mapping: m.OrigMapping(g)}
+		select {
+		case st.ch <- row:
+			delivered[pat].Add(1)
+		case <-ctx.Done():
+			c.Stop()
+		}
+	}, q.options(ctx)...)
+	if err != nil {
+		return nil, err
+	}
+	// A stream job's counts — total and per pattern — are the rows it
+	// delivered to the stream, drainable until the job's TTL, not the
+	// racy engine-side tally of matches found before the stop flag
+	// propagated; the engine figures stay visible under stats.
+	res := &Result{Stats: q.multiStats(ms)}
+	for i := range delivered {
+		res.Count += delivered[i].Load()
+	}
+	if len(q.req.Patterns) > 0 {
+		res.PerPattern = make([]PatternCount, len(q.texts))
+		for i, text := range q.texts {
+			res.PerPattern[i] = PatternCount{Pattern: text, Count: delivered[i].Load()}
+		}
+	}
+	return res, nil
+}
+
+func (q *compiledQuery) runFSM(ctx context.Context, g *graph.Graph) (*Result, error) {
 	start := time.Now()
+	opts := core.Options{
+		Threads:            q.req.Threads,
+		NoSymmetryBreaking: q.req.NoSymmetryBreaking,
+		Context:            ctx,
+	}
 	r, err := fsm.Mine(g, q.req.MaxEdges, q.req.Support, opts)
 	if err != nil {
 		return nil, err

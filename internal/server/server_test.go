@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -400,5 +402,357 @@ func TestShutdownCancelsJobs(t *testing.T) {
 	}
 	if got := job.Info().Status; got != StatusCancelled {
 		t.Errorf("status after shutdown = %q, want cancelled", got)
+	}
+}
+
+// A count query with a pattern list reports per-pattern counts from a
+// single batched traversal.
+func TestBatchedCountPerPattern(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, info := postQuery(t, ts,
+		`{"graph":"tri5","kind":"count","patterns":["0-1 1-2 2-0","0-1 1-2"],"wait":true}`)
+	if code != http.StatusOK || info.Status != StatusDone {
+		t.Fatalf("status = %d / %q (%s)", code, info.Status, info.Error)
+	}
+	res := info.Result
+	if res == nil || len(res.PerPattern) != 2 {
+		t.Fatalf("perPattern = %+v, want 2 rows", res)
+	}
+	// tri5 is 5 disjoint triangles: 5 triangles, 3 wedges per triangle.
+	if res.PerPattern[0].Count != 5 || res.PerPattern[1].Count != 15 {
+		t.Errorf("perPattern counts = %+v, want 5 and 15", res.PerPattern)
+	}
+	if res.Count != 20 {
+		t.Errorf("total count = %d, want 20", res.Count)
+	}
+	if res.Stats == nil || res.Stats.Tasks != 15 {
+		// 5 triangles x 3 vertices: one task per vertex for the whole batch.
+		t.Errorf("stats = %+v, want 15 tasks (single traversal)", res.Stats)
+	}
+
+	// A list of one still gets its per-pattern row — clients reading
+	// perPattern never special-case the list's length — while the
+	// string form keeps the original shape with no perPattern.
+	code, info = postQuery(t, ts,
+		`{"graph":"tri5","kind":"count","patterns":["0-1 1-2 2-0"],"wait":true}`)
+	if code != http.StatusOK || info.Status != StatusDone {
+		t.Fatalf("single-element list: status = %d / %q (%s)", code, info.Status, info.Error)
+	}
+	res = info.Result
+	if res == nil || len(res.PerPattern) != 1 || res.PerPattern[0].Count != 5 {
+		t.Fatalf("single-element list perPattern = %+v, want one row with count 5", res)
+	}
+	code, info = postQuery(t, ts,
+		`{"graph":"tri5","kind":"count","pattern":"0-1 1-2 2-0","wait":true}`)
+	if code != http.StatusOK || info.Result == nil || info.Result.PerPattern != nil {
+		t.Fatalf("string form: code = %d, result = %+v, want no perPattern rows", code, info.Result)
+	}
+}
+
+// noSymmetryBreaking requests must compile and execute unbroken plans:
+// every automorphic variant of each match is enumerated.
+func TestNoSymmetryBreakingCount(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, info := postQuery(t, ts,
+		`{"graph":"tri5","kind":"count","pattern":"0-1 1-2 2-0","noSymmetryBreaking":true,"wait":true}`)
+	if code != http.StatusOK || info.Status != StatusDone {
+		t.Fatalf("status = %d / %q (%s)", code, info.Status, info.Error)
+	}
+	// 5 triangles x 3! automorphisms.
+	if info.Result == nil || info.Result.Count != 30 {
+		t.Fatalf("unbroken triangle count = %+v, want 30", info.Result)
+	}
+}
+
+// GET /v1/jobs returns light summaries (id, status, graph, kind), not
+// full requests or buffered results.
+func TestJobListingSummaries(t *testing.T) {
+	_, ts := newTestServer(t)
+	postQuery(t, ts, `{"graph":"tri2","kind":"count","pattern":"0-1 1-2 2-0","wait":true}`)
+	postQuery(t, ts, `{"graph":"tri5","kind":"exists","pattern":"0-1","wait":true}`)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 2 {
+		t.Fatalf("listing has %d rows, want 2", len(raw))
+	}
+	for _, row := range raw {
+		for _, key := range []string{"id", "status", "graph", "kind"} {
+			if _, ok := row[key]; !ok {
+				t.Errorf("listing row %v missing %q", row, key)
+			}
+		}
+		for _, heavy := range []string{"result", "request"} {
+			if _, ok := row[heavy]; ok {
+				t.Errorf("listing row carries heavy field %q", heavy)
+			}
+		}
+	}
+	// Newest first.
+	if raw[0]["graph"] != "tri5" || raw[1]["graph"] != "tri2" {
+		t.Errorf("listing order = %v, %v; want tri5 then tri2", raw[0]["graph"], raw[1]["graph"])
+	}
+}
+
+// Finished jobs are evicted after the manager's TTL; DELETE (cancel)
+// still works before expiry.
+func TestJobTTLEviction(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Jobs().SetTTL(100 * time.Millisecond)
+
+	_, info := postQuery(t, ts, `{"graph":"tri2","kind":"count","pattern":"0-1 1-2 2-0","wait":true}`)
+	if code, _ := getJob(t, ts, info.ID); code != http.StatusOK {
+		t.Fatalf("job not queryable right after finish: %d", code)
+	}
+	if code, _ := deleteJob(t, ts, info.ID); code != http.StatusOK {
+		t.Fatalf("DELETE before expiry = %d, want 200", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code, _ := getJob(t, ts, info.ID); code == http.StatusNotFound {
+			return // evicted
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job not evicted 10s after its 100ms TTL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func openStream(t *testing.T, ts *httptest.Server, id string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// A streaming matches job delivers one NDJSON row per match plus a
+// terminal done row, and the job completes once drained.
+// decodeStream parses an NDJSON match stream up to its terminal row;
+// end is nil if the stream closed without one.
+func decodeStream(t *testing.T, body io.Reader) ([]StreamMatch, *StreamEnd) {
+	t.Helper()
+	var rows []StreamMatch
+	var end *StreamEnd
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if probe.Done {
+			end = &StreamEnd{}
+			if err := json.Unmarshal(line, end); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		var row StreamMatch
+		if err := json.Unmarshal(line, &row); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows, end
+}
+
+func TestStreamNDJSON(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, info := postQuery(t, ts,
+		`{"graph":"tri5","kind":"matches","patterns":["0-1 1-2 2-0","0-1 0-2 0-3 1-2 1-3 2-3"],"stream":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", code)
+	}
+	resp := openStream(t, ts, info.ID)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+
+	rows, end := decodeStream(t, resp.Body)
+	if len(rows) != 5 {
+		t.Fatalf("streamed %d rows, want 5 triangles (no 4-cliques in tri5)", len(rows))
+	}
+	for _, row := range rows {
+		if row.Index != 0 || row.Pattern != "0-1 1-2 2-0" {
+			t.Errorf("row %+v not attributed to the triangle pattern", row)
+		}
+		if len(row.Mapping) != 3 {
+			t.Errorf("row mapping %v, want 3 vertices", row.Mapping)
+		}
+	}
+	if end == nil || !end.Done || end.Status != StatusDone || end.Count != 5 {
+		t.Fatalf("terminal row = %+v, want done/done/5", end)
+	}
+
+	// The stream is single-consumer.
+	resp2 := openStream(t, ts, info.ID)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("second attach = %d, want 409", resp2.StatusCode)
+	}
+}
+
+// Dropping the stream client mid-delivery must cancel the job and stop
+// its engine workers: the 6-star mine on the dense graph cannot finish
+// in test time, so reaching cancelled proves disconnect propagation.
+func TestStreamClientDisconnectCancelsJob(t *testing.T) {
+	s, ts := newTestServer(t)
+	_, info := postQuery(t, ts,
+		`{"graph":"dense","kind":"matches","pattern":"0-1 0-2 0-3 0-4 0-5 0-6","stream":true}`)
+
+	resp := openStream(t, ts, info.ID)
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no first row before disconnect")
+	}
+	resp.Body.Close() // drop the client mid-stream
+
+	job, ok := s.Jobs().Get(info.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(20 * time.Second):
+		t.Fatal("job survived 20s after client disconnect")
+	}
+	if st := job.Info().Status; st != StatusCancelled {
+		t.Errorf("status after disconnect = %q, want cancelled", st)
+	}
+}
+
+// Streaming request validation and stream attachment errors.
+func TestStreamErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+	for name, body := range map[string]string{
+		"stream on count":        `{"graph":"tri2","kind":"count","pattern":"0-1","stream":true}`,
+		"stream with wait":       `{"graph":"tri2","kind":"matches","pattern":"0-1","stream":true,"wait":true}`,
+		"multi-pattern buffered": `{"graph":"tri2","kind":"matches","patterns":["0-1","0-1 1-2"]}`,
+		"pattern and patterns":   `{"graph":"tri2","kind":"count","pattern":"0-1","patterns":["0-1 1-2"]}`,
+		"fsm with stream":        `{"graph":"labeled","kind":"fsm","maxEdges":1,"support":1,"stream":true}`,
+		"empty patterns list":    `{"graph":"tri2","kind":"count","patterns":[]}`,
+	} {
+		if code, _ := postQuery(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, code)
+		}
+	}
+
+	// Stream endpoint on a non-streaming job.
+	_, info := postQuery(t, ts, `{"graph":"tri2","kind":"count","pattern":"0-1","wait":true}`)
+	resp := openStream(t, ts, info.ID)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("stream on count job = %d, want 400", resp.StatusCode)
+	}
+	respUnknown := openStream(t, ts, "job-999")
+	defer respUnknown.Body.Close()
+	if respUnknown.StatusCode != http.StatusNotFound {
+		t.Errorf("stream on unknown job = %d, want 404", respUnknown.StatusCode)
+	}
+}
+
+// A streaming job whose stream is never consumed must not park its
+// workers forever: the attach watchdog cancels it.
+func TestStreamAttachWatchdog(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetStreamAttachTimeout(100 * time.Millisecond)
+	_, info := postQuery(t, ts,
+		`{"graph":"dense","kind":"matches","pattern":"0-1 0-2 0-3 0-4 0-5 0-6","stream":true}`)
+	job, ok := s.Jobs().Get(info.ID)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(20 * time.Second):
+		t.Fatal("unconsumed stream job survived 20s past its 100ms attach timeout")
+	}
+	if st := job.Info().Status; st != StatusCancelled {
+		t.Errorf("status = %q, want cancelled", st)
+	}
+
+	// A consumer arriving after the watchdog cancelled still reclaims
+	// the stream: it drains whatever was buffered and gets the honest
+	// cancelled status in the terminal row instead of a 409.
+	resp := openStream(t, ts, info.ID)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-watchdog stream GET = %d, want 200", resp.StatusCode)
+	}
+	rows, end := decodeStream(t, resp.Body)
+	if end == nil || end.Status != StatusCancelled {
+		t.Errorf("post-watchdog terminal row = %+v, want cancelled status", end)
+	}
+	if end != nil && end.Count != uint64(len(rows)) {
+		t.Errorf("terminal count = %d, rows relayed = %d; must match", end.Count, len(rows))
+	}
+}
+
+// The watchdog only unparks workers blocked on an unconsumed stream; a
+// job that finished before the attach deadline keeps its buffered rows
+// deliverable to a late consumer (within the job TTL).
+func TestStreamLateConsumerAfterFinish(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.SetStreamAttachTimeout(50 * time.Millisecond)
+	_, info := postQuery(t, ts,
+		`{"graph":"tri5","kind":"matches","pattern":"0-1 1-2 2-0","stream":true}`)
+	job, ok := s.Jobs().Get(info.ID)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(20 * time.Second):
+		t.Fatal("tiny stream job did not finish")
+	}
+	time.Sleep(150 * time.Millisecond) // let the watchdog fire
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + info.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("late stream GET = %d, want 200", resp.StatusCode)
+	}
+	rows, end := decodeStream(t, resp.Body)
+	if len(rows) != 5 || end == nil || !end.Done || end.Status != StatusDone {
+		t.Errorf("late consumer got %d rows, end = %+v; want 5 rows of a done job", len(rows), end)
+	}
+}
+
+// The streaming maxMatches cap is exact even with concurrent workers:
+// slots are reserved before rows are sent.
+func TestStreamMaxMatchesExact(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, info := postQuery(t, ts,
+		`{"graph":"tri5","kind":"matches","pattern":"0-1 1-2 2-0","stream":true,"maxMatches":3,"threads":4}`)
+	resp := openStream(t, ts, info.ID)
+	defer resp.Body.Close()
+	rows, end := decodeStream(t, resp.Body)
+	if end == nil || len(rows) != 3 {
+		t.Fatalf("stream delivered %d rows (end=%+v), want exactly 3", len(rows), end)
+	}
+	// The terminal count is rows delivered, not the racy engine tally.
+	if end.Count != 3 {
+		t.Errorf("terminal count = %d, want 3 (delivered rows)", end.Count)
 	}
 }

@@ -1,0 +1,69 @@
+package server
+
+import "sync/atomic"
+
+// streamBuffer is the match backlog a streaming job may accumulate
+// ahead of its NDJSON consumer. Once full, engine workers block on the
+// channel send — backpressure, not buffering — so an unbounded match
+// set never materializes server-side; it flows at the client's pace.
+const streamBuffer = 256
+
+// StreamMatch is one NDJSON row of GET /v1/jobs/{id}/stream: a single
+// match, tagged with the pattern (text and request index) it belongs
+// to, with the mapping in original input vertex ids.
+type StreamMatch struct {
+	Pattern string   `json:"pattern"`
+	Index   int      `json:"patternIndex"`
+	Mapping []uint32 `json:"mapping"`
+}
+
+// StreamEnd is the terminal NDJSON row, emitted after the last match:
+// it carries the job's final status and the number of match rows
+// delivered on the stream, so clients can distinguish a complete
+// stream from a truncated one by comparing Count to rows received.
+type StreamEnd struct {
+	Done   bool   `json:"done"`
+	Status Status `json:"status"`
+	Count  uint64 `json:"count"`
+	Error  string `json:"error,omitempty"`
+}
+
+// MatchStream carries matches from a running streaming job to at most
+// one stream consumer. The job's runner publishes to ch and closes it
+// when mining ends; the HTTP handler attaches exactly once and drains.
+// The attach watchdog holds a distinguishable claim so a consumer
+// arriving after the watchdog fired can still reclaim the stream once
+// the job is terminal and drain whatever was buffered.
+type MatchStream struct {
+	ch    chan StreamMatch
+	state atomic.Int32 // streamFree, streamConsumed, or streamWatchdog
+}
+
+const (
+	streamFree     int32 = iota // no consumer yet
+	streamConsumed              // an HTTP consumer owns the channel
+	streamWatchdog              // the attach watchdog claimed it; reclaimable once the job is done
+)
+
+func newMatchStream() *MatchStream {
+	return &MatchStream{ch: make(chan StreamMatch, streamBuffer)}
+}
+
+// attach claims the consumer side; only the first caller wins.
+func (s *MatchStream) attach() bool { return s.state.CompareAndSwap(streamFree, streamConsumed) }
+
+// watchdogClaim marks the stream unconsumed at its attach deadline.
+// Winning the claim proves no consumer is draining, so the watchdog may
+// cancel the job without killing a live stream.
+func (s *MatchStream) watchdogClaim() bool { return s.state.CompareAndSwap(streamFree, streamWatchdog) }
+
+// watchdogClaimed reports whether the watchdog currently holds the
+// stream — i.e. the job was cancelled unconsumed and its buffer is
+// reclaimable once the job is terminal.
+func (s *MatchStream) watchdogClaimed() bool { return s.state.Load() == streamWatchdog }
+
+// reclaim hands a watchdog-claimed stream to a late consumer. Callers
+// must only reclaim once the job is terminal: the mine is no longer
+// running, so draining the buffered rows plus the honest terminal
+// status is strictly better than a 409.
+func (s *MatchStream) reclaim() bool { return s.state.CompareAndSwap(streamWatchdog, streamConsumed) }

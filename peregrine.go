@@ -19,6 +19,10 @@
 // The entry points mirror the paper's API: ForEachMatch (the paper's
 // match()), Count, Exists, and the mining applications MotifCounts,
 // CliqueCount, CliqueExists, FSM, and GlobalClusteringCoefficientExceeds.
+// All of them run through the prepared-query path (Prepare): plans are
+// compiled once per pattern shape into a process-wide cache, several
+// patterns execute in a single graph traversal, and PreparedQuery.Matches
+// streams matches through a range-over-func iterator without buffering.
 package peregrine
 
 import (
@@ -192,44 +196,64 @@ func (c config) pattern(p *Pattern) *Pattern {
 }
 
 // ForEachMatch finds every match of p in g and invokes f for each — the
-// paper's match(G, p, f). f runs concurrently on worker threads.
+// paper's match(G, p, f). f runs concurrently on worker threads. The
+// pattern's plan comes from the process-wide cache: repeated calls for
+// the same pattern shape skip analysis entirely.
 func ForEachMatch(g *Graph, p *Pattern, f MatchFunc, opts ...Option) (Stats, error) {
-	c := buildConfig(opts)
-	return core.Run(g, c.pattern(p), f, c.opts)
+	t0 := time.Now()
+	q, err := PrepareWith(opts, p)
+	if err != nil {
+		return Stats{}, err
+	}
+	planTime := time.Since(t0)
+	var pf func(ctx *Ctx, pat int, m *Match)
+	if f != nil {
+		pf = func(ctx *Ctx, _ int, m *Match) { f(ctx, m) }
+	}
+	ms, err := q.ForEach(g, pf, opts...)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := ms.Per[0]
+	st.PlanTime = planTime
+	return st, nil
 }
 
 // Count returns the number of matches of p in g — the paper's count().
 func Count(g *Graph, p *Pattern, opts ...Option) (uint64, error) {
-	c := buildConfig(opts)
-	return core.Count(g, c.pattern(p), c.opts)
+	n, _, err := CountWithStats(g, p, opts...)
+	return n, err
 }
 
 // CountWithStats returns the match count along with execution statistics.
 func CountWithStats(g *Graph, p *Pattern, opts ...Option) (uint64, Stats, error) {
-	c := buildConfig(opts)
-	st, err := core.Run(g, c.pattern(p), nil, c.opts)
+	st, err := ForEachMatch(g, p, nil, opts...)
 	return st.Matches, st, err
 }
 
 // Exists reports whether p has at least one match in g, terminating the
 // exploration at the first match (§5.3).
 func Exists(g *Graph, p *Pattern, opts ...Option) (bool, error) {
-	c := buildConfig(opts)
-	return core.Exists(g, c.pattern(p), c.opts)
+	q, err := PrepareWith(opts, p)
+	if err != nil {
+		return false, err
+	}
+	return q.Exists(g, opts...)
 }
 
 // CountMany counts matches for several patterns, returning counts keyed
-// by each pattern's position in ps.
+// by each pattern's position in ps. All patterns are matched in a
+// single traversal of g (see PreparedQuery.CountEach); use Prepare
+// directly to reuse the compiled form across calls.
 func CountMany(g *Graph, ps []*Pattern, opts ...Option) ([]uint64, error) {
-	out := make([]uint64, len(ps))
-	for i, p := range ps {
-		n, err := Count(g, p, opts...)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = n
+	if len(ps) == 0 {
+		return nil, nil
 	}
-	return out, nil
+	q, err := PrepareWith(opts, ps...)
+	if err != nil {
+		return nil, err
+	}
+	return q.CountEach(g, opts...)
 }
 
 // Dataset identifies a built-in synthetic stand-in dataset (see

@@ -1,0 +1,373 @@
+package peregrine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"peregrine/internal/gen"
+	"peregrine/internal/graph"
+	"peregrine/internal/pattern"
+)
+
+// Differential check for the batched path: Prepare(ps...).CountEach(g)
+// must equal per-pattern serial Count results for every generated
+// pattern with up to 4 vertices, edge- and vertex-induced, on the
+// seeded differential graphs.
+func TestPreparedCountEachMatchesSerialCount(t *testing.T) {
+	var pats []*Pattern
+	for size := 2; size <= 4; size++ {
+		pats = append(pats, pattern.GenerateAllVertexInduced(size)...)
+	}
+	var all []*Pattern
+	for _, p := range pats {
+		all = append(all, p, pattern.VertexInduced(p))
+	}
+	all = pattern.DedupeByCanonical(all)
+
+	q, err := Prepare(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range differentialGraphs() {
+		t.Run(tc.name, func(t *testing.T) {
+			batched, err := q.CountEach(tc.g, WithThreads(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range all {
+				serial, err := Count(tc.g, p, WithThreads(4))
+				if err != nil {
+					t.Fatalf("pattern %v: %v", p, err)
+				}
+				if batched[i] != serial {
+					t.Errorf("pattern %v: batched = %d, serial = %d", p, batched[i], serial)
+				}
+			}
+		})
+	}
+}
+
+// The batched path must traverse the task space once, not once per
+// pattern: its Tasks figure is the vertex count, while the serial loop
+// scans len(patterns) times as many.
+func TestPreparedCountEachSingleTraversal(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 64, Edges: 140, Seed: 12})
+	pats := pattern.GenerateAllVertexInduced(4)
+	q, err := Prepare(pats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ms, err := q.CountEachWithStats(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Tasks != uint64(g.NumVertices()) {
+		t.Errorf("batched tasks = %d, want %d (one traversal)", ms.Tasks, g.NumVertices())
+	}
+	var serialTasks uint64
+	for _, p := range pats {
+		_, st, err := CountWithStats(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialTasks += st.Tasks
+	}
+	if want := uint64(len(pats)) * uint64(g.NumVertices()); serialTasks != want {
+		t.Fatalf("serial loop tasks = %d, want %d", serialTasks, want)
+	}
+	if ms.Tasks*uint64(len(pats)) != serialTasks {
+		t.Errorf("batched %d vs serial %d tasks: batching should divide scans by %d",
+			ms.Tasks, serialTasks, len(pats))
+	}
+}
+
+// Concurrent Prepares of the same shapes (in shuffled numberings) must
+// be safe under -race and converge on shared cached plans.
+func TestConcurrentPrepare(t *testing.T) {
+	shapes := []*Pattern{
+		pattern.Clique(3),
+		pattern.MustParse("0-1 1-2 2-0 2-3"),
+		pattern.MustParse("2-3 3-0 0-2 0-1"), // previous shape, renumbered
+		pattern.Star(4),
+	}
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 48, Edges: 110, Seed: 11})
+	want, err := CountMany(g, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q, err := Prepare(shapes...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := q.CountEach(g, WithThreads(2))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("pattern %d: concurrent CountEach = %d, want %d", i, got[i], want[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The two renumbered tailed-triangle shapes are isomorphic and must
+	// count identically through the shared plan.
+	if want[1] != want[2] {
+		t.Errorf("isomorphic renumbered patterns count %d vs %d", want[1], want[2])
+	}
+}
+
+// Matches delivered for a pattern that hit a differently-numbered
+// cached plan must come back in the caller's numbering: every mapped
+// data vertex must carry the label the caller's pattern demands.
+func TestMatchesRemapsIsomorphicNumbering(t *testing.T) {
+	b := graph.NewBuilder()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetLabel(0, 1)
+	b.SetLabel(1, 2)
+	b.SetLabel(2, 3)
+	g := b.Build()
+
+	a := MustParsePattern("0-1 1-2 [0:1] [1:2] [2:3]")
+	c := MustParsePattern("0-1 1-2 [0:3] [1:2] [2:1]") // a with endpoints renumbered
+	q, err := Prepare(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := q.Matches(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 2)
+	pats := []*Pattern{a, c}
+	for pi, m := range seq {
+		counts[pi]++
+		if m.Pattern != pats[pi] {
+			t.Errorf("match for pattern %d carries pattern %v", pi, m.Pattern)
+		}
+		for v := 0; v < pats[pi].N(); v++ {
+			if got, want := Label(g.Label(m.Mapping[v])), pats[pi].LabelOf(v); got != want {
+				t.Errorf("pattern %d vertex %d mapped to data label %d, want %d", pi, v, got, want)
+			}
+		}
+	}
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("match counts = %v, want [1 1]", counts)
+	}
+}
+
+// The Matches iterator must stream: yielded mappings are retained
+// safely, the order-of-arrival total equals the pattern's count, and
+// breaking out of the range stops the workers like Ctx.Stop — on a
+// graph whose full star enumeration would run far beyond the test
+// timeout, an early break must return promptly.
+func TestMatchesIteratorStreamAndEarlyBreak(t *testing.T) {
+	tri := triangleComponents(40)
+	q, err := Prepare(MustParsePattern("0-1 1-2 2-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := q.Matches(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retained [][]uint32
+	for _, m := range seq {
+		retained = append(retained, m.Mapping) // no copy: iterator matches are owned
+	}
+	if len(retained) != 40 {
+		t.Fatalf("streamed %d matches, want 40", len(retained))
+	}
+	seen := make(map[uint32]bool)
+	for _, mp := range retained {
+		for _, v := range mp {
+			if seen[v] {
+				t.Fatal("retained mappings alias or repeat vertices across disjoint triangles")
+			}
+			seen[v] = true
+		}
+	}
+
+	// Early break on an exploration that cannot finish in test time.
+	dense := gen.Standard(gen.OrkutLite, 1)
+	qs, err := Prepare(MustParsePattern("0-1 0-2 0-3 0-4 0-5 0-6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stars, err := qs.Matches(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got := 0
+	for _, m := range stars {
+		_ = m
+		got++
+		if got == 3 {
+			break
+		}
+	}
+	if got != 3 {
+		t.Fatalf("yielded %d matches before break, want 3", got)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("early break took %v; workers did not stop", elapsed)
+	}
+}
+
+// triangleComponents builds n disjoint triangles.
+func triangleComponents(n int) *Graph {
+	b := graph.NewBuilder()
+	for i := uint32(0); i < uint32(n); i++ {
+		base := 3 * i
+		b.AddEdge(base, base+1)
+		b.AddEdge(base+1, base+2)
+		b.AddEdge(base+2, base)
+	}
+	return b.Build()
+}
+
+// Prepared Exists stops at the first match of any pattern, and a
+// prepared query is reusable across graphs.
+func TestPreparedExistsAndReuse(t *testing.T) {
+	q, err := Prepare(GenerateClique(3), GenerateClique(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := triangleComponents(2)
+	ok, err := q.Exists(tri)
+	if err != nil || !ok {
+		t.Fatalf("Exists on triangles = %v, %v; want true", ok, err)
+	}
+	chain := GraphFromEdges([][2]uint32{{0, 1}, {1, 2}})
+	ok, err = q.Exists(chain)
+	if err != nil || ok {
+		t.Fatalf("Exists on a path = %v, %v; want false", ok, err)
+	}
+	counts, err := q.CountEach(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 || counts[1] != 0 {
+		t.Errorf("CountEach = %v, want [2 0]", counts)
+	}
+	total, err := q.Count(tri)
+	if err != nil || total != 2 {
+		t.Errorf("Count = %d, %v; want 2", total, err)
+	}
+}
+
+// PrepareWith bakes plan-affecting options into the compiled plans and
+// makes them the query's execution defaults: no per-call re-passing is
+// needed, and a per-call option a query was NOT prepared with
+// recompiles correctly rather than reusing the wrong plans.
+func TestPrepareWithOptions(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 48, Edges: 110, Seed: 21})
+	pats := []*Pattern{GenerateClique(3), GenerateStar(3)}
+
+	unbroken, err := PrepareWith([]Option{WithoutSymmetryBreaking()}, pats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepared options hold without being re-passed per call.
+	counts, err := unbroken.CountEach(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pats {
+		serial, err := Count(g, p, WithoutSymmetryBreaking())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts[i] != serial {
+			t.Errorf("pattern %v without symmetry breaking: prepared = %d, serial = %d", p, counts[i], serial)
+		}
+	}
+
+	// A default-prepared query asked to run with a new plan-affecting
+	// option recompiles through the cache.
+	def, err := Prepare(pats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken, err := def.CountEach(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := def.CountEach(g, WithoutSymmetryBreaking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pats {
+		serial, err := Count(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if broken[i] != serial {
+			t.Errorf("pattern %v default options: prepared = %d, serial = %d", p, broken[i], serial)
+		}
+		if over[i] != counts[i] {
+			t.Errorf("pattern %v: per-call override = %d, prepared-unbroken = %d; must agree", p, over[i], counts[i])
+		}
+		if counts[i] != 0 && broken[i] >= counts[i] {
+			t.Errorf("pattern %v: symmetry-broken count %d not below unbroken %d", p, broken[i], counts[i])
+		}
+	}
+}
+
+// MatchesWithStats exposes whether the enumeration was truncated: a
+// bound that fires must surface as Stopped after the range ends, and a
+// run to completion must not.
+func TestMatchesWithStatsReportsTruncation(t *testing.T) {
+	q, err := Prepare(GenerateClique(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := triangleComponents(3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	seq, st, err := q.MatchesWithStats(tri, WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range seq {
+	}
+	if !st.Stopped {
+		t.Error("cancelled enumeration: Stopped = false, want true")
+	}
+
+	seq, st, err = q.MatchesWithStats(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range seq {
+		n++
+	}
+	if n != 3 || st.Stopped || st.Matches() != 3 {
+		t.Errorf("complete enumeration: yielded %d, stats = %+v; want 3 unstopped", n, st)
+	}
+}
+
+// Prepare input validation.
+func TestPrepareErrors(t *testing.T) {
+	if _, err := Prepare(); err == nil {
+		t.Error("Prepare() accepted zero patterns")
+	}
+	if _, err := Prepare(NewPattern(3)); err == nil {
+		t.Error("Prepare accepted an edgeless pattern")
+	}
+}
