@@ -1,17 +1,24 @@
-// Command gengraph generates synthetic data graphs in the edge-list
-// format understood by the library and the peregrine CLI.
+// Command gengraph generates synthetic data graphs, and converts
+// between the formats understood by the library: the text edge list
+// and the mmap-able .pgr binary CSR.
 //
 // Usage:
 //
 //	gengraph -kind rmat -v 100000 -e 1000000 -labels 29 -seed 1 -o mico-like.txt
 //	gengraph -kind er   -v 300000 -e 1500000 -maxdeg 800 -o patents-like.txt
-//	gengraph -dataset mico-lite -scale 4 -o mico.txt
+//	gengraph -dataset mico-lite -scale 4 -format pgr -o mico.pgr
+//	gengraph -in mico-like.txt -format pgr -o mico-like.pgr   # convert
+//
+// -format defaults to the -o extension (.pgr selects the binary),
+// else the edge list. Converting an existing graph with -in re-reads
+// it (either format, auto-detected) and rewrites it in -format.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"peregrine/internal/gen"
 	"peregrine/internal/graph"
@@ -26,11 +33,34 @@ func main() {
 	seed := flag.Uint64("seed", 1, "PRNG seed")
 	dataset := flag.String("dataset", "", "built-in stand-in: mico-lite | patents-lite | patents-labeled | orkut-lite | friendster-lite")
 	scale := flag.Int("scale", 1, "scale multiplier for -dataset")
+	in := flag.String("in", "", "convert an existing graph file (either format) instead of generating")
+	format := flag.String("format", "", "output format: edgelist | pgr (default: by -o extension)")
 	out := flag.String("o", "", "output path (default stdout)")
 	flag.Parse()
 
+	if *format == "" {
+		if strings.HasSuffix(*out, ".pgr") {
+			*format = "pgr"
+		} else {
+			*format = "edgelist"
+		}
+	}
+	if *format != "pgr" && *format != "edgelist" {
+		fmt.Fprintf(os.Stderr, "gengraph: unknown format %q (want edgelist or pgr)\n", *format)
+		os.Exit(2)
+	}
+
 	var g *graph.Graph
-	if *dataset != "" {
+	if *in != "" {
+		src, err := graph.OpenPath(*in)
+		if err == nil {
+			g, err = src.Load()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+	} else if *dataset != "" {
 		g = gen.Standard(gen.Dataset(*dataset), *scale)
 	} else {
 		switch *kind {
@@ -50,19 +80,23 @@ func main() {
 		}
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gengraph:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	// The Save* paths write via temp-file-and-rename, so converting a
+	// graph over its own path (-in x.pgr -o x.pgr) is safe even while
+	// the loaded graph aliases the input file's mapping.
+	var err error
+	switch {
+	case *out == "" && *format == "pgr":
+		err = graph.WriteBinary(os.Stdout, g)
+	case *out == "":
+		err = graph.WriteEdgeList(os.Stdout, g)
+	case *format == "pgr":
+		err = graph.SaveBinary(*out, g)
+	default:
+		err = graph.SaveEdgeList(*out, g)
 	}
-	if err := graph.WriteEdgeList(w, g); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "gengraph: wrote %v\n", g)
+	fmt.Fprintf(os.Stderr, "gengraph: wrote %v (%s)\n", g, *format)
 }

@@ -3,7 +3,9 @@
 //
 //	peregrine-serve -addr :8080 \
 //	    -graph social=graphs/social.txt \
-//	    -dataset mico=mico-lite@1
+//	    -graph orkut=graphs/orkut.pgr \
+//	    -dataset mico=mico-lite@1 \
+//	    -max-graph-bytes 2G
 //
 //	curl -s localhost:8080/v1/graphs
 //	curl -s -X POST localhost:8080/v1/query \
@@ -16,10 +18,18 @@
 //
 // Finished jobs are evicted -job-ttl after completion (0 disables).
 //
-// Graph files are edge lists ("src dst" lines, optional "v id label"
-// lines, '#' comments). Dataset specs are name=dataset[@scale] over the
-// built-in synthetics (mico-lite, patents-lite, patents-labeled,
-// orkut-lite, friendster-lite).
+// Graph files are text edge lists ("src dst" lines, optional "v id
+// label" lines, '#' comments) or .pgr binaries (gengraph -format pgr),
+// detected from the content; .pgr graphs are mmap-loaded and report
+// full metadata in GET /v1/graphs before their first query. Dataset
+// specs are name=dataset[@scale] over the built-in synthetics
+// (mico-lite, patents-lite, patents-labeled, orkut-lite,
+// friendster-lite).
+//
+// -max-graph-bytes (accepts K/M/G/T suffixes) bounds the total
+// resident size of loaded graphs: past the budget, idle graphs are
+// evicted least-recently-used first and lazily reload on their next
+// query; graphs pinned by running jobs are never evicted.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/bits"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,7 +74,9 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", time.Hour, "evict finished jobs after this long (0 keeps them forever)")
 	attachTimeout := flag.Duration("stream-attach-timeout", server.DefaultStreamAttachTimeout,
 		"cancel a streaming job whose stream is not consumed within this long (0 disables)")
-	flag.Var(&graphFlags, "graph", "register an edge-list file as name=path (repeatable)")
+	maxGraphBytes := flag.String("max-graph-bytes", "0",
+		"memory budget for loaded graphs, e.g. 512M or 2G (0 = unlimited); idle graphs evict LRU-first past it")
+	flag.Var(&graphFlags, "graph", "register a graph file (edge list or .pgr, auto-detected) as name=path (repeatable)")
 	flag.Var(&datasetFlags, "dataset", "register a built-in dataset as name=dataset[@scale] (repeatable)")
 	flag.Parse()
 
@@ -76,7 +89,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	budget, err := parseBytes(*maxGraphBytes)
+	if err != nil {
+		fatal(fmt.Errorf("-max-graph-bytes: %w", err))
+	}
+
 	reg := server.NewRegistry()
+	reg.SetMaxBytes(budget)
 	for _, spec := range graphFlags {
 		name, path, err := splitSpec(spec)
 		if err != nil {
@@ -144,6 +163,36 @@ func parseDataset(spec string) (gen.Dataset, int, error) {
 		scale = n
 	}
 	return ds, scale, nil
+}
+
+// parseBytes parses a byte size with an optional binary suffix:
+// "1073741824", "512M", "2G".
+func parseBytes(s string) (uint64, error) {
+	mult := uint64(1)
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'K', 'k':
+			mult = 1 << 10
+		case 'M', 'm':
+			mult = 1 << 20
+		case 'G', 'g':
+			mult = 1 << 30
+		case 'T', 't':
+			mult = 1 << 40
+		}
+		if mult > 1 {
+			s = s[:n-1]
+		}
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	hi, lo := bits.Mul64(v, mult)
+	if hi != 0 {
+		return 0, fmt.Errorf("size overflows 64 bits")
+	}
+	return lo, nil
 }
 
 func fatal(err error) {

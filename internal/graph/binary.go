@@ -1,0 +1,413 @@
+package graph
+
+// The .pgr binary format: the CSR arrays of a built Graph, laid out so
+// a reader can mmap the file and alias its sections directly as the
+// Graph's slices — zero parse, zero copy, shareable between processes
+// through the page cache. Loading becomes a header validation plus an
+// O(E) integrity sweep instead of re-tokenizing and re-sorting a text
+// edge list, which is what makes serving many large graphs from one
+// registry feasible (see internal/server).
+//
+// Layout (all fixed-width fields little-endian):
+//
+//	[0:8)    magic "PGRCSR\x00\x01"
+//	[8:12)   version  uint32 (currently 1)
+//	[12:16)  flags    uint32 (bit 0: labels section, bit 1: origID section)
+//	[16:20)  numVertices uint32
+//	[20:24)  labelCount  uint32
+//	[24:32)  numEdges    uint64
+//	[32:40)  adjLen      uint64 (= len(adj) = 2*numEdges)
+//	[40:64)  reserved, zero
+//	[64:..)  offsets  (numVertices+1) × uint64
+//	[..)     adj      adjLen × uint32
+//	[..)     labels   numVertices × uint32   (iff flags bit 0)
+//	[..)     origID   numVertices × uint32   (iff flags bit 1)
+//
+// Section sizes are fully determined by the header, and the file size
+// must match exactly; the 64-byte header keeps the offsets section
+// 8-aligned in a page-aligned mapping, and every later section is a
+// uint32 array, so alignment holds throughout.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+)
+
+// binaryMagic identifies a .pgr file. The trailing version byte is
+// redundant with the header's version field but makes truncated or
+// wrong-endian files fail the cheapest possible check first.
+var binaryMagic = [8]byte{'P', 'G', 'R', 'C', 'S', 'R', 0, 1}
+
+const (
+	binaryVersion = 1
+	headerSize    = 64
+
+	flagLabels uint32 = 1 << 0
+	flagOrigID uint32 = 1 << 1
+	flagsKnown        = flagLabels | flagOrigID
+)
+
+// ErrBadFormat wraps every malformed-.pgr error so callers can
+// distinguish corruption from I/O failures.
+var ErrBadFormat = errors.New("graph: bad .pgr data")
+
+// errMmapUnsupported signals that this platform (or host byte order)
+// cannot alias the file; LoadBinary falls back to ReadBinary.
+var errMmapUnsupported = errors.New("graph: mmap unsupported")
+
+func badFormat(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadFormat, fmt.Sprintf(format, args...))
+}
+
+// binaryHeader is the decoded fixed-size .pgr header.
+type binaryHeader struct {
+	flags      uint32
+	n          uint32 // numVertices
+	labelCount uint32
+	numEdges   uint64
+	adjLen     uint64
+}
+
+func (h binaryHeader) hasLabels() bool { return h.flags&flagLabels != 0 }
+func (h binaryHeader) hasOrigID() bool { return h.flags&flagOrigID != 0 }
+
+// fileBytes returns the exact size of a well-formed file with this
+// header — also the resident footprint of the mmap-backed Graph — or
+// ok=false when the header's counts overflow uint64 arithmetic (a
+// crafted header whose wrapped total matches a tiny file must not
+// pass the size check).
+func (h binaryHeader) fileBytes() (uint64, bool) {
+	total, ok := uint64(headerSize), true
+	add := func(elemSize, count uint64) {
+		hi, lo := bits.Mul64(elemSize, count)
+		var carry uint64
+		total, carry = bits.Add64(total, lo, 0)
+		if hi != 0 || carry != 0 {
+			ok = false
+		}
+	}
+	add(8, uint64(h.n)+1) // offsets
+	add(4, h.adjLen)      // adj
+	if h.hasLabels() {
+		add(4, uint64(h.n))
+	}
+	if h.hasOrigID() {
+		add(4, uint64(h.n))
+	}
+	return total, ok
+}
+
+func (h binaryHeader) encode() []byte {
+	buf := make([]byte, headerSize)
+	copy(buf, binaryMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:], binaryVersion)
+	binary.LittleEndian.PutUint32(buf[12:], h.flags)
+	binary.LittleEndian.PutUint32(buf[16:], h.n)
+	binary.LittleEndian.PutUint32(buf[20:], h.labelCount)
+	binary.LittleEndian.PutUint64(buf[24:], h.numEdges)
+	binary.LittleEndian.PutUint64(buf[32:], h.adjLen)
+	return buf
+}
+
+// decodeHeader validates the fixed-size header. maxBytes, when nonzero,
+// is the size of the available data (file or buffer); the decoded
+// header's implied file size must match it exactly.
+func decodeHeader(buf []byte, maxBytes uint64) (binaryHeader, error) {
+	var h binaryHeader
+	if len(buf) < headerSize {
+		return h, badFormat("short header: %d bytes", len(buf))
+	}
+	if [8]byte(buf[:8]) != binaryMagic {
+		return h, badFormat("bad magic %q", buf[:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != binaryVersion {
+		return h, badFormat("unsupported version %d", v)
+	}
+	h.flags = binary.LittleEndian.Uint32(buf[12:])
+	h.n = binary.LittleEndian.Uint32(buf[16:])
+	h.labelCount = binary.LittleEndian.Uint32(buf[20:])
+	h.numEdges = binary.LittleEndian.Uint64(buf[24:])
+	h.adjLen = binary.LittleEndian.Uint64(buf[32:])
+	if h.flags&^flagsKnown != 0 {
+		return h, badFormat("unknown flags %#x", h.flags)
+	}
+	for i := 40; i < headerSize; i++ {
+		if buf[i] != 0 {
+			return h, badFormat("nonzero reserved header bytes")
+		}
+	}
+	if h.adjLen != 2*h.numEdges {
+		return h, badFormat("adjLen %d != 2*numEdges %d", h.adjLen, h.numEdges)
+	}
+	if h.hasLabels() == (h.labelCount == 0) && h.n > 0 {
+		return h, badFormat("labelCount %d inconsistent with flags %#x", h.labelCount, h.flags)
+	}
+	// Reject sizes that cannot be real before any allocation: adjLen is
+	// bounded by n*(n-1) for a simple graph.
+	if n := uint64(h.n); h.adjLen > n*n {
+		return h, badFormat("adjLen %d impossible for %d vertices", h.adjLen, h.n)
+	}
+	implied, ok := h.fileBytes()
+	if !ok {
+		return h, badFormat("section sizes overflow")
+	}
+	if maxBytes > 0 && implied != maxBytes {
+		return h, badFormat("file is %d bytes, header implies %d", maxBytes, implied)
+	}
+	return h, nil
+}
+
+// headerFor derives the .pgr header of g.
+func headerFor(g *Graph) binaryHeader {
+	h := binaryHeader{
+		n:        g.NumVertices(),
+		numEdges: g.numEdge,
+		adjLen:   uint64(len(g.adj)),
+	}
+	if g.labels != nil {
+		h.flags |= flagLabels
+		h.labelCount = uint32(g.labelCount)
+	}
+	if g.origID != nil {
+		h.flags |= flagOrigID
+	}
+	return h
+}
+
+// WriteBinary writes g to w in the .pgr binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	h := headerFor(g)
+	if _, err := w.Write(h.encode()); err != nil {
+		return fmt.Errorf("graph: write .pgr header: %w", err)
+	}
+	// Sections are streamed through one reused chunk buffer so writing
+	// a multi-gigabyte graph does not double its resident size.
+	buf := make([]byte, 0, 64*1024)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		_, err := w.Write(buf)
+		buf = buf[:0]
+		return err
+	}
+	put64 := func(v uint64) error {
+		if len(buf)+8 > cap(buf) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+		return nil
+	}
+	put32 := func(v uint32) error {
+		if len(buf)+4 > cap(buf) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+		return nil
+	}
+	for _, v := range g.offsets {
+		if err := put64(v); err != nil {
+			return fmt.Errorf("graph: write .pgr offsets: %w", err)
+		}
+	}
+	for _, sec := range [][]uint32{g.adj, g.labels, g.origID} {
+		for _, v := range sec {
+			if err := put32(v); err != nil {
+				return fmt.Errorf("graph: write .pgr section: %w", err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return fmt.Errorf("graph: write .pgr: %w", err)
+	}
+	return nil
+}
+
+// SaveBinary writes g to path in the .pgr binary format, atomically:
+// saving an mmap-backed graph over its own file is safe.
+func SaveBinary(path string, g *Graph) error {
+	return saveAtomic(path, func(w io.Writer) error { return WriteBinary(w, g) })
+}
+
+// ReadBinary parses a complete .pgr stream into a heap-backed Graph.
+// It is the portable load path — mmap-incapable platforms, big-endian
+// hosts, and the FuzzReadBinary target all go through it — so it
+// decodes field by field and never aliases r's bytes.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read .pgr: %w", err)
+	}
+	h, err := decodeHeader(data, uint64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		offsets:    make([]uint64, uint64(h.n)+1),
+		adj:        make([]uint32, h.adjLen),
+		numEdge:    h.numEdges,
+		labelCount: int(h.labelCount),
+	}
+	pos := uint64(headerSize)
+	for i := range g.offsets {
+		g.offsets[i] = binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+	}
+	read32 := func(dst []uint32) {
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint32(data[pos:])
+			pos += 4
+		}
+	}
+	read32(g.adj)
+	if h.hasLabels() {
+		g.labels = make([]uint32, h.n)
+		read32(g.labels)
+	}
+	if h.hasOrigID() {
+		g.origID = make([]uint32, h.n)
+		read32(g.origID)
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validate checks the CSR invariants the engine depends on, so a
+// corrupt or hand-forged .pgr file fails loading instead of crashing a
+// worker mid-mine: offsets monotone and spanning adj exactly, every
+// neighbor id in range, adjacency lists sorted, strict (no self-loops,
+// no duplicates), and the edge count consistent.
+func (g *Graph) validate() error {
+	n := uint64(g.NumVertices())
+	if g.offsets[0] != 0 {
+		return badFormat("offsets[0] = %d, want 0", g.offsets[0])
+	}
+	if last := g.offsets[n]; last != uint64(len(g.adj)) {
+		return badFormat("offsets end %d != adj length %d", last, len(g.adj))
+	}
+	// Bound every offset before slicing with any of them: monotonicity
+	// up to v does not bound offsets[v+1] until the whole array is
+	// known to be monotone and to end at len(adj).
+	for v := uint64(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return badFormat("offsets not monotone at vertex %d", v)
+		}
+		if g.offsets[v+1] > uint64(len(g.adj)) {
+			return badFormat("offsets[%d] = %d exceeds adj length %d", v+1, g.offsets[v+1], len(g.adj))
+		}
+	}
+	for v := uint64(0); v < n; v++ {
+		list := g.adj[g.offsets[v]:g.offsets[v+1]]
+		for i, u := range list {
+			if uint64(u) >= n {
+				return badFormat("vertex %d: neighbor %d out of range", v, u)
+			}
+			if uint64(u) == v {
+				return badFormat("vertex %d: self-loop", v)
+			}
+			if i > 0 && list[i-1] >= u {
+				return badFormat("vertex %d: adjacency not strictly sorted", v)
+			}
+		}
+	}
+	if uint64(len(g.adj)) != 2*g.numEdge {
+		return badFormat("adj length %d != 2*numEdges %d", len(g.adj), g.numEdge)
+	}
+	if g.labels != nil {
+		distinct := make(map[uint32]struct{})
+		for _, l := range g.labels {
+			if l != NoLabel {
+				distinct[l] = struct{}{}
+			}
+		}
+		if len(distinct) != g.labelCount {
+			return badFormat("labelCount %d != %d distinct labels", g.labelCount, len(distinct))
+		}
+	}
+	return nil
+}
+
+// LoadBinary loads a .pgr file. On platforms with mmap support (and a
+// little-endian host, matching the on-disk encoding) the returned
+// Graph's slices alias the read-only mapping: loading costs no heap
+// and the page cache shares the data across processes; Close unmaps
+// it. Elsewhere it falls back to the portable ReadBinary copy.
+func LoadBinary(path string) (*Graph, error) {
+	g, err := loadBinaryMmap(path)
+	if err == nil || !errors.Is(err, errMmapUnsupported) {
+		return g, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// StatBinary reads only the .pgr header of path: graph metadata (and
+// the exact resident size a load would cost) without loading anything.
+func StatBinary(path string) (Stat, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Stat{}, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return Stat{}, fmt.Errorf("graph: %w", err)
+	}
+	buf := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Stat{}, badFormat("short header: %v", err)
+		}
+		// A genuine read failure is not corruption; keep it out of
+		// ErrBadFormat so callers can tell transient from permanent.
+		return Stat{}, fmt.Errorf("graph: read .pgr header: %w", err)
+	}
+	h, err := decodeHeader(buf, uint64(fi.Size()))
+	if err != nil {
+		return Stat{}, err
+	}
+	return h.stat(), nil
+}
+
+func (h binaryHeader) stat() Stat {
+	return Stat{
+		Vertices: h.n,
+		Edges:    h.numEdges,
+		Labels:   int(h.labelCount),
+		Labeled:  h.hasLabels(),
+	}
+}
+
+// SniffBinary reports whether path begins with the .pgr magic; used to
+// auto-detect the format of registered graph files.
+func SniffBinary(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return false, nil // shorter than any valid .pgr: not binary
+		}
+		// A real read failure must surface, not silently classify the
+		// file as an edge list.
+		return false, fmt.Errorf("graph: %w", err)
+	}
+	return magic == binaryMagic, nil
+}

@@ -31,6 +31,10 @@ type Graph struct {
 	numEdge uint64   // number of undirected edges
 
 	labelCount int // number of distinct labels (0 when unlabeled)
+
+	// release unmaps backing storage for mmap-backed graphs (see
+	// LoadBinary); nil for heap-backed graphs. Consumed by Close.
+	release func() error
 }
 
 // NumVertices returns |V(G)|.
@@ -94,6 +98,37 @@ func (g *Graph) AvgDegree() float64 {
 		return 0
 	}
 	return float64(2*g.numEdge) / float64(n)
+}
+
+// Bytes returns the resident size of the graph's CSR arrays — for an
+// mmap-backed graph, the size of the mapping. Registries use it for
+// memory-budget accounting.
+func (g *Graph) Bytes() uint64 {
+	return 8*uint64(len(g.offsets)) +
+		4*uint64(len(g.adj)) +
+		4*uint64(len(g.labels)) +
+		4*uint64(len(g.origID))
+}
+
+// Close releases the graph's backing storage. For mmap-backed graphs
+// (LoadBinary) it unmaps the file — any use of the graph or of Adj
+// views after Close faults — and for heap-backed graphs it is a no-op.
+// Close is idempotent but not concurrency-safe with graph use: callers
+// that share a graph must pin it (see internal/server's registry).
+func (g *Graph) Close() error {
+	if g.release == nil {
+		return nil
+	}
+	rel := g.release
+	g.release = nil
+	// Drop the aliasing slices so a use-after-Close fails fast on a nil
+	// or empty view instead of faulting on unmapped pages nondeterministically.
+	g.offsets = []uint64{0}
+	g.adj = nil
+	g.labels = nil
+	g.origID = nil
+	g.numEdge = 0
+	return rel()
 }
 
 // String summarizes the graph for diagnostics.
@@ -254,10 +289,18 @@ func (b *Builder) Build() *Graph {
 		distinct := make(map[uint32]struct{})
 		for orig, l := range b.labels {
 			labels[rename[orig]] = l
-			distinct[l] = struct{}{}
+			// An explicit NoLabel is indistinguishable from an unset
+			// one — Label reports NoLabel either way — so it must not
+			// count as a distinct label (and a graph whose every label
+			// is NoLabel stays unlabeled).
+			if l != NoLabel {
+				distinct[l] = struct{}{}
+			}
 		}
-		g.labels = labels
-		g.labelCount = len(distinct)
+		if len(distinct) > 0 {
+			g.labels = labels
+			g.labelCount = len(distinct)
+		}
 	}
 	return g
 }

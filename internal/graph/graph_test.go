@@ -1,10 +1,13 @@
 package graph
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -132,6 +135,36 @@ func TestLabels(t *testing.T) {
 	}
 }
 
+// An explicit NoLabel assignment must behave exactly like no
+// assignment: it is not a distinct label, an all-NoLabel graph is
+// unlabeled, and the graph's .pgr encoding round-trips (the binary
+// reader cross-checks labelCount against the labels section).
+func TestExplicitNoLabel(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetLabel(0, NoLabel)
+	b.SetLabel(1, 7)
+	g := b.Build()
+	if !g.Labeled() || g.NumLabels() != 1 {
+		t.Fatalf("graph with one real label: Labeled=%v NumLabels=%d, want true/1", g.Labeled(), g.NumLabels())
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf); err != nil {
+		t.Fatalf("binary round trip of explicit-NoLabel graph: %v", err)
+	}
+
+	all := NewBuilder()
+	all.AddEdge(0, 1)
+	all.SetLabel(0, NoLabel)
+	if g := all.Build(); g.Labeled() || g.NumLabels() != 0 {
+		t.Fatalf("all-NoLabel graph should be unlabeled, got %v", g)
+	}
+}
+
 func TestUnlabeledLabelIsNoLabel(t *testing.T) {
 	g := FromEdges([]Edge{{Src: 0, Dst: 1}})
 	if g.Labeled() {
@@ -194,6 +227,26 @@ func TestReadEdgeListErrors(t *testing.T) {
 		if _, err := ReadEdgeList(bytes.NewBufferString(bad)); err == nil {
 			t.Errorf("input %q should fail", bad)
 		}
+	}
+}
+
+// A line longer than the scanner's buffer must surface as an error
+// naming the offending line — not as a silently truncated parse.
+func TestReadEdgeListTokenTooLong(t *testing.T) {
+	var src bytes.Buffer
+	src.WriteString("0 1\n1 2\n")
+	src.WriteString("# ")
+	src.Write(bytes.Repeat([]byte{'x'}, 2<<20)) // 2 MiB comment line
+	src.WriteString("\n2 3\n")
+	_, err := ReadEdgeList(&src)
+	if err == nil {
+		t.Fatal("over-long line parsed without error (scan silently truncated)")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("error = %v, want bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name the offending line 3", err)
 	}
 }
 

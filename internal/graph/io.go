@@ -69,7 +69,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		b.AddEdge(u, v)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: %w", err)
+		// A scanner failure — an over-long line (bufio.ErrTooLong) as
+		// much as a read error — ends the loop exactly like EOF does, so
+		// without this check the parse would silently yield the truncated
+		// prefix. lineNo still counts the last complete line; the failure
+		// is on the next one.
+		return nil, fmt.Errorf("graph: line %d: %w", lineNo+1, err)
 	}
 	return b.Build(), nil
 }
@@ -102,15 +107,35 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 
 // SaveEdgeList writes g to path in edge-list format.
 func SaveEdgeList(path string, g *Graph) error {
-	f, err := os.Create(path)
+	return saveAtomic(path, func(w io.Writer) error { return WriteEdgeList(w, g) })
+}
+
+// saveAtomic writes through a sibling temp file renamed into place.
+// Creating the target directly would truncate it first — and an
+// mmap-backed graph being saved back to its own .pgr file still
+// aliases that inode, so truncation faults the write and destroys the
+// data. The rename keeps the old inode (and any mapping) intact until
+// the new file is complete, and makes save failures leave the old file
+// untouched. The temp file is opened with mode 0666 so the kernel
+// applies the caller's umask, exactly like os.Create would.
+func saveAtomic(path string, write func(io.Writer) error) error {
+	tmp := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
 	if err != nil {
 		return fmt.Errorf("graph: %w", err)
 	}
-	if err := WriteEdgeList(f, g); err != nil {
-		f.Close()
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("graph: %w", err)
 	}
-	return f.Close()
+	return nil
 }
 
 func parseU32(s string) (uint32, error) {

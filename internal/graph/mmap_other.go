@@ -1,0 +1,11 @@
+//go:build !unix
+
+package graph
+
+// Platforms without the unix mmap surface (notably windows) load .pgr
+// files through the portable ReadBinary copy; LoadBinary treats
+// errMmapUnsupported as the signal to fall back. CI cross-compiles
+// with GOOS=windows so this path cannot rot.
+func loadBinaryMmap(path string) (*Graph, error) {
+	return nil, errMmapUnsupported
+}

@@ -1,0 +1,218 @@
+package graph
+
+// Sources make the data graph's origin a first-class, pluggable API
+// instead of a parser side effect: anything that can describe itself
+// cheaply and produce a CSR Graph on demand — a text edge list, an
+// mmap-able .pgr file, an in-memory build, a synthetic generator — can
+// sit behind the same interface. The server registry holds Sources
+// rather than Graphs, which is what lets it report metadata before
+// loading, account resident bytes, and evict idle graphs under a
+// memory budget (reloading them lazily through the same Source).
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Stat is the cheap metadata of a graph source, available without a
+// full load for formats that carry it (the .pgr header, an in-memory
+// graph).
+type Stat struct {
+	Vertices uint32
+	Edges    uint64
+	Labels   int  // distinct labels; 0 when unlabeled
+	Labeled  bool // whether the graph carries vertex labels
+}
+
+// ErrNoStat is returned by Source.Stat when the format cannot report
+// metadata without a full load (a text edge list must be parsed end to
+// end to know anything).
+var ErrNoStat = errors.New("graph: source metadata requires a full load")
+
+// Source is a pluggable origin of one data graph.
+//
+// A Source is a recipe, not a cache: Load does its work every call,
+// and callers own the returned Graph's lifetime (Close releases any
+// backing mmap). That split is deliberate — the registry layer that
+// caches loaded graphs also decides when to evict them, which only
+// works if the Source underneath holds no hidden reference.
+type Source interface {
+	// Name describes the source, e.g. "file:graphs/mico.pgr".
+	Name() string
+	// Stat returns vertex/edge/label counts without loading the graph,
+	// or ErrNoStat when the format cannot know them cheaply.
+	Stat() (Stat, error)
+	// Load produces the CSR graph. Unless the source is Shared, each
+	// call returns a graph owned by the caller, released with
+	// Graph.Close.
+	Load() (*Graph, error)
+	// Bytes is the expected resident size of a load, when knowable
+	// without one (the .pgr header implies it exactly; an in-memory
+	// graph measures itself); 0 means unknown until loaded.
+	Bytes() uint64
+}
+
+// SharedLoader marks sources whose Load returns one shared Graph
+// instance rather than a caller-owned copy (MemorySource). Callers
+// must not Close a shared graph, and cache layers must treat it as
+// permanently resident: "evicting" it would free nothing (the source
+// keeps the reference) while Closing it would gut an instance other
+// holders still use.
+type SharedLoader interface {
+	SharedLoad() bool
+}
+
+// Shared reports whether src serves one shared graph instance.
+func Shared(src Source) bool {
+	sl, ok := src.(SharedLoader)
+	return ok && sl.SharedLoad()
+}
+
+// StatOf derives a Stat from a loaded graph.
+func StatOf(g *Graph) Stat {
+	return Stat{
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Labels:   g.NumLabels(),
+		Labeled:  g.Labeled(),
+	}
+}
+
+// MemorySource serves an already-built in-memory graph (Build,
+// FromEdges, or a generator output) under a name. Unlike file-backed
+// sources, it cannot recreate its graph: if the instance is Closed —
+// e.g. it was mmap-backed and a registry memory budget evicted it —
+// subsequent Loads fail loudly instead of serving the gutted graph.
+func MemorySource(name string, g *Graph) Source {
+	return memSource{name: name, g: g, st: StatOf(g)}
+}
+
+type memSource struct {
+	name string
+	g    *Graph
+	st   Stat // stat at registration, to detect a Close in between
+}
+
+func (s memSource) Name() string        { return s.name }
+func (s memSource) Stat() (Stat, error) { return s.st, nil }
+func (s memSource) Load() (*Graph, error) {
+	// For the common heap-backed graph, Close is a no-op and Load can
+	// hand out the same instance forever. An mmap-backed graph that a
+	// registry budget Closed is empty now — unrecoverable from here,
+	// so fail rather than silently matching nothing. (Register the
+	// .pgr path itself to make such a graph reloadable.)
+	if StatOf(s.g) != s.st {
+		return nil, fmt.Errorf("graph: memory source %q: graph was closed; register its file instead to allow reload", s.name)
+	}
+	return s.g, nil
+}
+func (s memSource) Bytes() uint64    { return s.g.Bytes() }
+func (s memSource) SharedLoad() bool { return true }
+
+// FuncSource serves a graph produced by fn on every Load — the seam
+// for synthetic datasets and tests. fn must build a fresh graph per
+// call (Source.Load's ownership contract); wrap a fixed instance with
+// MemorySource instead.
+func FuncSource(name string, fn func() (*Graph, error)) Source {
+	return funcSource{name: name, fn: fn}
+}
+
+type funcSource struct {
+	name string
+	fn   func() (*Graph, error)
+}
+
+func (s funcSource) Name() string          { return s.name }
+func (s funcSource) Stat() (Stat, error)   { return Stat{}, ErrNoStat }
+func (s funcSource) Load() (*Graph, error) { return s.fn() }
+func (s funcSource) Bytes() uint64         { return 0 }
+
+// EdgeListSource serves a whitespace edge-list file (see LoadEdgeList).
+// Text carries no cheap metadata: Stat reports ErrNoStat and Bytes is
+// unknown until a load.
+func EdgeListSource(path string) Source { return edgeListSource{path: path} }
+
+type edgeListSource struct{ path string }
+
+func (s edgeListSource) Name() string          { return "edgelist:" + s.path }
+func (s edgeListSource) Stat() (Stat, error)   { return Stat{}, ErrNoStat }
+func (s edgeListSource) Load() (*Graph, error) { return LoadEdgeList(s.path) }
+func (s edgeListSource) Bytes() uint64         { return 0 }
+
+// BinarySource serves a .pgr file: Stat and Bytes come from the header
+// alone, and Load maps the file into memory where the platform allows
+// (see LoadBinary).
+func BinarySource(path string) Source { return binarySource{path: path} }
+
+type binarySource struct{ path string }
+
+func (s binarySource) Name() string          { return "pgr:" + s.path }
+func (s binarySource) Stat() (Stat, error)   { return StatBinary(s.path) }
+func (s binarySource) Load() (*Graph, error) { return LoadBinary(s.path) }
+func (s binarySource) Bytes() uint64 {
+	// The file size IS the resident size of an mmap-backed load; no
+	// header decode needed.
+	fi, err := os.Stat(s.path)
+	if err != nil {
+		return 0
+	}
+	return uint64(fi.Size())
+}
+
+// FileSource serves a graph file in either supported format, sniffing
+// the .pgr magic on each use. Detection is deferred to use — not done
+// once at registration — so a file that appears, changes format, or
+// recovers from a transient read failure behaves like any other lazy
+// load instead of being frozen by a stale sniff.
+func FileSource(path string) Source { return fileSource{path: path} }
+
+type fileSource struct{ path string }
+
+func (s fileSource) Name() string { return "file:" + s.path }
+
+func (s fileSource) resolve() (Source, error) {
+	bin, err := SniffBinary(s.path)
+	if err != nil {
+		return nil, err
+	}
+	if bin {
+		return BinarySource(s.path), nil
+	}
+	return EdgeListSource(s.path), nil
+}
+
+func (s fileSource) Stat() (Stat, error) {
+	r, err := s.resolve()
+	if err != nil {
+		return Stat{}, err
+	}
+	return r.Stat()
+}
+
+func (s fileSource) Load() (*Graph, error) {
+	r, err := s.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return r.Load()
+}
+
+func (s fileSource) Bytes() uint64 {
+	r, err := s.resolve()
+	if err != nil {
+		return 0
+	}
+	return r.Bytes()
+}
+
+// OpenPath opens path as a graph Source, detecting the format eagerly:
+// a .pgr magic selects the binary source, anything else the edge-list
+// parser. Unlike FileSource, an unreadable path fails here rather than
+// at first load.
+func OpenPath(path string) (Source, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return fileSource{path: path}.resolve()
+}

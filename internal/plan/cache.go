@@ -9,9 +9,8 @@ import (
 
 // DefaultCacheEntries bounds a Cache: plans are tiny, but a service
 // mining an adversarial stream of distinct pattern shapes must not
-// grow without limit. At the bound, an arbitrary entry is evicted per
-// insertion (map-order, effectively random); evicted shapes simply
-// recompile on next use.
+// grow without limit. At the bound, the least-recently-used entry is
+// evicted per insertion; evicted shapes simply recompile on next use.
 const DefaultCacheEntries = 4096
 
 // Cache memoizes exploration plans keyed by the canonical form of the
@@ -30,6 +29,15 @@ type Cache struct {
 	mu      sync.RWMutex
 	entries map[cacheKey]*cacheEntry
 	max     int
+
+	// tick is a monotonically increasing use counter; each Get stamps
+	// the entry it touched. Recency lives in per-entry atomics rather
+	// than a linked list so the hot hit path stays under the read lock;
+	// eviction (rare: only at the bound, on a miss that already paid
+	// for plan compilation) scans for the minimum stamp, which is exact
+	// LRU up to the ordering of concurrent hits — and concurrent hits
+	// have no meaningful order to preserve.
+	tick atomic.Uint64
 
 	hits, misses atomic.Uint64
 }
@@ -50,8 +58,9 @@ type cacheKey struct {
 const maxCanonicalVertices = 8
 
 type cacheEntry struct {
-	plan *Plan
-	inv  []int // canonical position -> plan pattern vertex
+	plan    *Plan
+	inv     []int         // canonical position -> plan pattern vertex
+	lastUse atomic.Uint64 // Cache.tick stamp of the most recent Get
 }
 
 // Cached is a cache lookup result: the plan plus the vertex translation
@@ -95,6 +104,9 @@ func (c *Cache) Get(p *pattern.Pattern, opt Options) (Cached, error) {
 
 	c.mu.RLock()
 	e, ok := c.entries[key]
+	if ok {
+		e.lastUse.Store(c.tick.Add(1))
+	}
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -121,15 +133,29 @@ func (c *Cache) Get(p *pattern.Pattern, opt Options) (Cached, error) {
 		e = prev // keep the first insertion so remaps stay consistent
 	} else {
 		if len(c.entries) >= c.max {
-			for victim := range c.entries {
-				delete(c.entries, victim)
-				break
-			}
+			c.evictLRULocked()
 		}
 		c.entries[key] = e
 	}
+	e.lastUse.Store(c.tick.Add(1))
 	c.mu.Unlock()
 	return Cached{Plan: e.plan, Remap: remapFor(p, perm, e)}, nil
+}
+
+// evictLRULocked removes the entry with the oldest use stamp. Callers
+// hold the write lock, so no stamp can move while the minimum is found.
+func (c *Cache) evictLRULocked() {
+	var victim cacheKey
+	oldest := uint64(0)
+	first := true
+	for k, e := range c.entries {
+		if u := e.lastUse.Load(); first || u < oldest {
+			victim, oldest, first = k, u, false
+		}
+	}
+	if !first {
+		delete(c.entries, victim)
+	}
 }
 
 // remapFor composes the caller's canonical permutation with the cached

@@ -171,6 +171,53 @@ func TestCacheBounded(t *testing.T) {
 	}
 }
 
+// Eviction at the bound must pick the least-recently-used shape: a
+// recently re-touched entry survives insertions that evict older ones.
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCacheSize(3)
+	shape := func(k int) *pattern.Pattern {
+		p := pattern.Chain(3)
+		p.SetLabel(0, pattern.Label(100+k))
+		return p
+	}
+	plans := make([]*Plan, 4)
+	for k := 0; k < 3; k++ { // fill: 0, 1, 2 in age order
+		got, err := c.Get(shape(k), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[k] = got.Plan
+	}
+	// Touch 0 so 1 becomes the LRU entry.
+	if got, err := c.Get(shape(0), Options{}); err != nil || got.Plan != plans[0] {
+		t.Fatalf("re-touch of shape 0 missed: plan %p vs %p, err %v", got.Plan, plans[0], err)
+	}
+	// Insert 3: must evict 1, keeping 0 and 2.
+	if _, err := c.Get(shape(3), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache has %d entries, want 3", c.Len())
+	}
+	for _, k := range []int{0, 2, 3} {
+		before, _ := c.Stats()
+		if _, err := c.Get(shape(k), Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if after, _ := c.Stats(); after != before+1 {
+			t.Errorf("shape %d was evicted, want it retained", k)
+		}
+	}
+	// Shape 1 must have been the victim: getting it again is a miss.
+	_, missesBefore := c.Stats()
+	if _, err := c.Get(shape(1), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, missesAfter := c.Stats(); missesAfter != missesBefore+1 {
+		t.Error("LRU shape 1 still cached; eviction picked a non-LRU victim")
+	}
+}
+
 // Concurrent Gets of the same and different patterns must be safe (run
 // under -race) and must converge on one plan per shape.
 func TestCacheConcurrentGet(t *testing.T) {

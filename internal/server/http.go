@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"peregrine"
 )
 
 // maxBodyBytes bounds POST bodies; patterns and parameters are tiny.
@@ -25,6 +27,11 @@ type Server struct {
 	registry *Registry
 	jobs     *Manager
 
+	// plans is this server's own plan cache: two servers in one
+	// process (tests, multi-tenant embedders) don't share eviction
+	// pressure or stats through the package-global default cache.
+	plans *peregrine.PlanCache
+
 	// streamAttachTimeout (nanoseconds) cancels a streaming job whose
 	// NDJSON stream was never consumed: its workers park on the full
 	// stream channel and would otherwise pin goroutines and the graph
@@ -40,10 +47,13 @@ const DefaultStreamAttachTimeout = time.Minute
 // NewServer returns a server over reg whose jobs descend from base:
 // cancelling base aborts every running query (graceful shutdown).
 func NewServer(base context.Context, reg *Registry) *Server {
-	s := &Server{registry: reg, jobs: NewManager(base)}
+	s := &Server{registry: reg, jobs: NewManager(base), plans: peregrine.NewPlanCache(0)}
 	s.streamAttachTimeout.Store(int64(DefaultStreamAttachTimeout))
 	return s
 }
+
+// PlanCache exposes the server's plan cache (stats, tests).
+func (s *Server) PlanCache() *peregrine.PlanCache { return s.plans }
 
 // SetStreamAttachTimeout overrides the stream-consumer watchdog
 // (mainly for tests); 0 disables it.
@@ -98,7 +108,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	q, err := compile(req)
+	q, err := compile(req, s.plans)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -110,15 +120,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// The graph is resolved inside the job so a slow first load (large
 	// edge-list file) does not block the POST: async clients get their
-	// 202 immediately and load failures surface as failed jobs.
+	// 202 immediately and load failures surface as failed jobs. The
+	// acquisition pins the graph for the job's whole run — the memory
+	// budget can never evict (and unmap) a graph under an in-flight
+	// query.
 	run := func(ctx context.Context) (*Result, error) {
-		g, err := s.registry.Get(req.Graph)
+		g, release, err := s.registry.Acquire(req.Graph)
 		if err != nil {
 			if q.stream != nil {
 				close(q.stream.ch) // unblock a waiting stream consumer
 			}
 			return nil, err
 		}
+		defer release()
 		return q.run(ctx, g)
 	}
 	var job *Job

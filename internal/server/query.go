@@ -128,9 +128,10 @@ type compiledQuery struct {
 }
 
 // compile validates req, parses its patterns, and compiles their
-// exploration plans. Errors are client errors (HTTP 400); the graph is
-// resolved separately so unknown graphs can map to 404.
-func compile(req Request) (*compiledQuery, error) {
+// exploration plans through the server's plan cache (nil means the
+// process-wide default). Errors are client errors (HTTP 400); the
+// graph is resolved separately so unknown graphs can map to 404.
+func compile(req Request, plans *peregrine.PlanCache) (*compiledQuery, error) {
 	switch req.Kind {
 	case KindCount, KindExists, KindMatches:
 		texts := req.Patterns
@@ -176,6 +177,9 @@ func compile(req Request) (*compiledQuery, error) {
 		var prepOpts []peregrine.Option
 		if req.NoSymmetryBreaking {
 			prepOpts = append(prepOpts, peregrine.WithoutSymmetryBreaking())
+		}
+		if plans != nil {
+			prepOpts = append(prepOpts, peregrine.WithPlanCache(plans))
 		}
 		prepared, err := peregrine.PrepareWith(prepOpts, pats...)
 		if err != nil {

@@ -10,18 +10,20 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"peregrine/internal/gen"
 	"peregrine/internal/graph"
 )
 
-// ErrUnknownGraph is returned by Registry.Get for unregistered names;
-// the HTTP layer maps it to 404.
+// ErrUnknownGraph is returned by Registry.Acquire for unregistered
+// names; the HTTP layer maps it to 404.
 var ErrUnknownGraph = errors.New("unknown graph")
 
 // GraphInfo describes one registered graph for GET /v1/graphs. Vertex,
-// edge, and label counts are present only once the graph has loaded.
+// edge, and label counts come from the loaded graph when resident, and
+// otherwise from the source's cheap Stat (a .pgr header) when the
+// format carries one — so binary-backed graphs report full metadata
+// before they are ever loaded.
 type GraphInfo struct {
 	Name     string `json:"name"`
 	Source   string `json:"source"`
@@ -29,113 +31,363 @@ type GraphInfo struct {
 	Vertices uint32 `json:"vertices,omitempty"`
 	Edges    uint64 `json:"edges,omitempty"`
 	Labels   int    `json:"labels,omitempty"`
+	// Bytes is the graph's resident size when loaded, or the size a
+	// load would cost when the source can predict it (0 = unknown).
+	Bytes uint64 `json:"bytes,omitempty"`
+	// Pinned counts in-flight queries holding the graph; a pinned
+	// graph is never evicted by the memory budget.
+	Pinned int `json:"pinned,omitempty"`
 }
 
-// graphEntry lazily materializes one named graph: the first Get loads
-// it, concurrent Gets of the same entry share a single load, and only
-// success is cached — a transient failure (unreadable file) is retried
-// on the next query rather than poisoning the name until restart. The
-// loaded graph is published through an atomic pointer so List can peek
-// without blocking behind an in-flight load.
+// graphEntry is one named graph behind its Source. The Source is the
+// durable recipe; the loaded *Graph is a cache the registry's memory
+// budget may reclaim, and everything about that cache — the pointer,
+// its size, the pin count, the recency stamp — is guarded by the
+// Registry mutex. Only the load itself runs outside it, serialized per
+// entry by loadMu so concurrent first queries share one load while
+// queries for other graphs proceed.
 type graphEntry struct {
-	source string
-	load   func() (*graph.Graph, error)
-	mu     sync.Mutex
-	g      atomic.Pointer[graph.Graph]
+	name   string
+	src    graph.Source
+	shared bool // source serves one shared instance (graph.Shared)
+	loadMu sync.Mutex
+
+	// Guarded by Registry.mu:
+	g        *graph.Graph
+	bytes    uint64      // resident size of g (0 when unloaded)
+	pins     int         // in-flight acquisitions; > 0 blocks eviction
+	lastUse  uint64      // registry clock stamp of the latest Acquire
+	stat     *graph.Stat // memoized successful src.Stat
+	noStat   bool        // src.Stat returned ErrNoStat; stop re-probing
+	srcBytes uint64      // memoized src.Bytes pre-load size estimate
+	loads    uint64      // completed loads, observable via LoadCount
 }
 
-func (e *graphEntry) get() (*graph.Graph, error) {
-	if g := e.g.Load(); g != nil {
-		return g, nil
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if g := e.g.Load(); g != nil {
-		return g, nil
-	}
-	g, err := e.load()
-	if err != nil {
-		return nil, err
-	}
-	e.g.Store(g)
-	return g, nil
-}
-
-// Registry maps names to data graphs. Registration normally happens at
-// startup, but the RWMutex allows graphs to be added while queries are
-// being served; loading is lazy so a server with many registered graphs
-// pays only for the ones queried.
+// Registry maps names to graph sources. Registration normally happens
+// at startup, but graphs can be added while queries are served.
+// Loading is lazy and only successes are cached — a transient failure
+// (unreadable file) is retried on the next query rather than poisoning
+// the name until restart.
+//
+// With a byte budget set (SetMaxBytes / -max-graph-bytes), the
+// registry evicts least-recently-used idle graphs once resident bytes
+// exceed it: the victim's mmap (if any) is unmapped and the next query
+// for it reloads through the Source. Two kinds of graph are never
+// evicted: graphs pinned by in-flight queries (a running job can't
+// have its graph unmapped underneath it), and shared memory-source
+// graphs (AddGraph), which the registry doesn't own and whose source
+// would keep them in memory regardless — they count against the
+// budget permanently.
 type Registry struct {
-	mu      sync.RWMutex
-	entries map[string]*graphEntry
+	mu       sync.Mutex
+	entries  map[string]*graphEntry
+	maxBytes uint64 // 0 = unlimited
+	resident uint64 // total bytes of loaded graphs
+	clock    uint64 // LRU tick, advanced per Acquire
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with no memory budget.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*graphEntry)}
 }
 
-func (r *Registry) add(name, source string, load func() (*graph.Graph, error)) {
+// SetMaxBytes bounds the total resident size of loaded graphs; 0 (the
+// default) disables eviction. Lowering the budget below the current
+// residency evicts idle graphs immediately, LRU first.
+func (r *Registry) SetMaxBytes(n uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.entries[name] = &graphEntry{source: source, load: load}
+	r.maxBytes = n
+	r.evictLocked()
 }
 
-// AddGraph registers an already-built graph under name.
+// AddSource registers src under name, replacing any previous entry.
+// A replaced entry's resident graph leaves the accounting immediately
+// and — when the registry owned it (non-shared source) — its storage
+// is released: at once when idle, or by the last release of the
+// queries still pinning it (which finish against the graph they
+// acquired).
+//
+// A shared source (graph.Shared: MemorySource) is materialized
+// immediately and held permanently resident: the graph already exists
+// in memory and the source would keep it alive through any eviction,
+// so pretending to evict it would free nothing while skewing the
+// accounting.
+func (r *Registry) AddSource(name string, src graph.Source) {
+	e := &graphEntry{name: name, src: src, shared: graph.Shared(src)}
+	if e.shared {
+		if g, err := src.Load(); err == nil {
+			st := graph.StatOf(g)
+			e.g = g
+			e.bytes = g.Bytes()
+			e.stat = &st
+			e.loads = 1
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.entries[name]; ok && prev.g != nil {
+		r.resident -= prev.bytes
+		prev.bytes = 0
+		if prev.shared {
+			prev.g = nil // caller-owned; never Closed by the registry
+		} else if prev.pins == 0 {
+			_ = prev.g.Close()
+			prev.g = nil
+		}
+		// Still pinned: prev.g stays set so in-flight loaders of the
+		// stale entry share it; the last unpin observes the entry is
+		// gone from the map and closes it.
+	}
+	r.entries[name] = e
+	r.resident += e.bytes
+	r.evictLocked()
+}
+
+// AddGraph registers an already-built graph under name; source is the
+// provenance string reported by GET /v1/graphs.
 func (r *Registry) AddGraph(name, source string, g *graph.Graph) {
-	r.add(name, source, func() (*graph.Graph, error) { return g, nil })
+	r.AddSource(name, graph.MemorySource(source, g))
 }
 
-// AddFile registers an edge-list file, loaded on first query.
+// AddFile registers a graph file, loaded on first query. The format —
+// .pgr binary or text edge list — is detected from the content at use,
+// so an unreadable file surfaces as a (retryable) failed job rather
+// than a registration error.
 func (r *Registry) AddFile(name, path string) {
-	r.add(name, "file:"+path, func() (*graph.Graph, error) { return graph.LoadEdgeList(path) })
+	r.AddSource(name, graph.FileSource(path))
 }
 
 // AddDataset registers a built-in synthetic dataset at the given scale,
 // generated on first query.
 func (r *Registry) AddDataset(name string, d gen.Dataset, scale int) {
-	r.add(name, fmt.Sprintf("dataset:%s@%d", d, scale), func() (*graph.Graph, error) {
-		return gen.Standard(d, scale), nil
-	})
+	r.AddSource(name, graph.FuncSource(fmt.Sprintf("dataset:%s@%d", d, scale),
+		func() (*graph.Graph, error) { return gen.Standard(d, scale), nil }))
 }
 
-// Get returns the graph registered under name, loading it if this is
-// the first access. Concurrent Gets of the same unloaded graph perform
-// one load; Gets of other graphs are never blocked by it.
-func (r *Registry) Get(name string) (*graph.Graph, error) {
-	r.mu.RLock()
+// Acquire returns the graph registered under name, loading it through
+// its Source if it is not resident, and pins it: until release is
+// called the graph cannot be evicted (and so, for mmap-backed graphs,
+// cannot be unmapped mid-query). release is idempotent. Concurrent
+// Acquires of the same unloaded graph perform one load; Acquires of
+// other graphs are never blocked by it.
+func (r *Registry) Acquire(name string) (g *graph.Graph, release func(), err error) {
+	r.mu.Lock()
 	e, ok := r.entries[name]
-	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+		r.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
 	}
-	return e.get()
+	// Pin before looking at the cached graph: a nonzero pin count is
+	// what stops evictLocked from unmapping it between here and use.
+	e.pins++
+	r.clock++
+	e.lastUse = r.clock
+	g = e.g
+	r.mu.Unlock()
+
+	unpin := func() {
+		r.mu.Lock()
+		e.pins--
+		if e.pins == 0 && r.entries[e.name] != e && e.g != nil && !e.shared {
+			// The entry was replaced (AddSource) while this query ran:
+			// nothing can reach it anymore, so the last release frees
+			// its storage. Its bytes already left the accounting.
+			// (Shared graphs stay with their owner, never Closed here.)
+			_ = e.g.Close()
+			e.g = nil
+		}
+		// A release can be what makes an over-budget graph evictable
+		// (e.g. a graph bigger than the whole budget, kept only while
+		// its query ran): settle back under the budget now rather than
+		// at the next load.
+		r.evictLocked()
+		r.mu.Unlock()
+	}
+	if g == nil {
+		if g, err = r.load(e); err != nil {
+			unpin()
+			return nil, nil, err
+		}
+	}
+	var once sync.Once
+	return g, func() { once.Do(unpin) }, nil
+}
+
+// load materializes e's graph, serializing concurrent loaders of the
+// same entry; the caller has already pinned e. Lock order is loadMu
+// then Registry.mu — never the reverse — and eviction never touches an
+// entry's loadMu, so a slow load cannot deadlock the registry.
+func (r *Registry) load(e *graphEntry) (*graph.Graph, error) {
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	r.mu.Lock()
+	g := e.g // re-check: a racing loader may have finished first
+	r.mu.Unlock()
+	if g != nil {
+		return g, nil
+	}
+	g, err := e.src.Load()
+	if err != nil {
+		return nil, err
+	}
+	st := graph.StatOf(g)
+	r.mu.Lock()
+	e.g = g
+	e.stat = &st
+	e.loads++
+	if r.entries[e.name] == e {
+		e.bytes = g.Bytes()
+		// A real load is also the best size estimate for the entry's
+		// listing after a future eviction.
+		e.srcBytes = e.bytes
+		r.resident += e.bytes
+		r.evictLocked()
+	}
+	// A stale entry (replaced by AddSource mid-load) stays unaccounted:
+	// its pins drain and the last unpin closes the graph.
+	r.mu.Unlock()
+	return g, nil
+}
+
+// Get is Acquire without holding a pin: convenient where no memory
+// budget is set (eviction disabled), but under a budget the returned
+// graph may be evicted — and an mmap-backed one unmapped — at any
+// point. Query execution paths must use Acquire.
+func (r *Registry) Get(name string) (*graph.Graph, error) {
+	g, release, err := r.Acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	release()
+	return g, nil
+}
+
+// evictLocked reclaims least-recently-used idle graphs until resident
+// bytes fit the budget. Pinned entries (in-flight queries) are never
+// victims; if everything over budget is pinned, residency temporarily
+// exceeds the budget rather than failing queries. Called with r.mu
+// held.
+func (r *Registry) evictLocked() {
+	if r.maxBytes == 0 {
+		return
+	}
+	for r.resident > r.maxBytes {
+		var victim *graphEntry
+		for _, e := range r.entries {
+			// Shared (memory-source) graphs are never victims: their
+			// source retains the instance, so eviction would free no
+			// memory while Closing a graph the registry doesn't own.
+			if e.g == nil || e.pins > 0 || e.shared {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		// Closing is safe here: pins == 0 means no acquirer holds the
+		// graph, and every future use must Acquire under r.mu first.
+		_ = victim.g.Close()
+		victim.g = nil
+		r.resident -= victim.bytes
+		victim.bytes = 0
+	}
 }
 
 // Has reports whether name is registered, without loading it. The HTTP
 // layer uses this to reject unknown graphs synchronously while leaving
 // the (possibly slow) load to the job's goroutine.
 func (r *Registry) Has(name string) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	_, ok := r.entries[name]
 	return ok
 }
 
-// List describes every registered graph, sorted by name.
+// ResidentBytes returns the current total size of loaded graphs.
+func (r *Registry) ResidentBytes() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resident
+}
+
+// LoadCount returns how many times name's source has been loaded —
+// observability for eviction/reload behavior (and its tests).
+func (r *Registry) LoadCount(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return e.loads
+	}
+	return 0
+}
+
+// List describes every registered graph, sorted by name. Metadata for
+// unloaded graphs comes from the source's Stat when it has one; stat
+// probes run outside the registry lock so a slow filesystem cannot
+// stall queries.
 func (r *Registry) List() []GraphInfo {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]GraphInfo, 0, len(r.entries))
+	type probe struct {
+		e        *graphEntry
+		info     GraphInfo
+		needStat bool // no memoized stat; probe the source once
+	}
+	r.mu.Lock()
+	probes := make([]probe, 0, len(r.entries))
 	for name, e := range r.entries {
-		info := GraphInfo{Name: name, Source: e.source}
-		if g := e.g.Load(); g != nil {
+		info := GraphInfo{Name: name, Source: e.src.Name(), Pinned: e.pins}
+		if e.g != nil {
 			info.Loaded = true
-			info.Vertices = g.NumVertices()
-			info.Edges = g.NumEdges()
-			info.Labels = g.NumLabels()
+			info.Bytes = e.bytes
+		} else {
+			info.Bytes = e.srcBytes
 		}
-		out = append(out, info)
+		if st := e.stat; st != nil {
+			info.Vertices = st.Vertices
+			info.Edges = st.Edges
+			info.Labels = st.Labels
+		}
+		probes = append(probes, probe{
+			e:        e,
+			info:     info,
+			needStat: e.stat == nil && !e.noStat && e.g == nil,
+		})
+	}
+	r.mu.Unlock()
+
+	// Source probes are filesystem reads (.pgr headers, file sizes).
+	// They run outside the registry lock so a slow disk cannot stall
+	// Acquire on other graphs, and the answers — including "this
+	// format cannot stat" — are memoized so a polled listing does not
+	// re-open every cold graph file on every request.
+	out := make([]GraphInfo, 0, len(probes))
+	for _, p := range probes {
+		if p.needStat {
+			st, err := p.e.src.Stat()
+			switch {
+			case err == nil:
+				p.info.Vertices = st.Vertices
+				p.info.Edges = st.Edges
+				p.info.Labels = st.Labels
+				p.info.Bytes = p.e.src.Bytes()
+				r.mu.Lock()
+				if p.e.stat == nil {
+					p.e.stat = &st
+					p.e.srcBytes = p.info.Bytes
+				}
+				r.mu.Unlock()
+			case errors.Is(err, graph.ErrNoStat):
+				r.mu.Lock()
+				p.e.noStat = true
+				r.mu.Unlock()
+			}
+			// Other errors (transient I/O) stay unmemoized: retry on
+			// the next listing.
+		}
+		out = append(out, p.info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -1,0 +1,414 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"peregrine/internal/graph"
+)
+
+// pgrSource writes a random graph of edges edges to a .pgr file and
+// returns its source plus the graph's resident size. Binary-backed
+// sources are the realistic eviction case: evicting one unmaps real
+// memory, so a pin bug shows up as a fault, not just a failed assert.
+func pgrSource(t testing.TB, dir string, seed int64, edges int) (graph.Source, uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	n := edges / 4
+	for i := 0; i < edges; i++ {
+		b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	g := b.Build()
+	path := filepath.Join(dir, fmt.Sprintf("g%d.pgr", seed))
+	if err := graph.SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	src, err := graph.OpenPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, g.Bytes()
+}
+
+// loadedSet maps names to whether the registry currently holds them
+// resident.
+func loadedSet(r *Registry) map[string]bool {
+	out := make(map[string]bool)
+	for _, gi := range r.List() {
+		out[gi.Name] = gi.Loaded
+	}
+	return out
+}
+
+// Under a byte budget the registry must evict the least-recently-used
+// idle graph, and an evicted graph must lazily reload on next use.
+func TestRegistryLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	var size uint64
+	for i, name := range []string{"a", "b", "c"} {
+		src, bytes := pgrSource(t, dir, int64(i+1), 2000)
+		r.AddSource(name, src)
+		if bytes > size {
+			size = bytes
+		}
+	}
+	r.SetMaxBytes(2*size + size/2) // room for two graphs, not three
+
+	use := func(name string) {
+		t.Helper()
+		g, release, err := r.Acquire(name)
+		if err != nil {
+			t.Fatalf("Acquire(%q): %v", name, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("Acquire(%q) returned empty graph", name)
+		}
+		release()
+	}
+
+	use("a")
+	use("b")
+	use("c") // over budget: a is the LRU idle entry
+	if got := loadedSet(r); got["a"] || !got["b"] || !got["c"] {
+		t.Fatalf("after a,b,c loaded = %v, want a evicted", got)
+	}
+	if r.ResidentBytes() > 2*size+size/2 {
+		t.Fatalf("resident %d exceeds budget", r.ResidentBytes())
+	}
+
+	// The evicted graph reloads transparently — a second load of its
+	// source — and pushes out the now-LRU b.
+	use("a")
+	if n := r.LoadCount("a"); n != 2 {
+		t.Fatalf("a loaded %d times, want 2 (evict + lazy reload)", n)
+	}
+	if got := loadedSet(r); got["b"] || !got["a"] || !got["c"] {
+		t.Fatalf("after reload of a, loaded = %v, want b evicted", got)
+	}
+	if n := r.LoadCount("c"); n != 1 {
+		t.Fatalf("c loaded %d times, want 1 (never evicted)", n)
+	}
+}
+
+// A graph pinned by an in-flight acquisition must never be the
+// eviction victim, even when it is the least recently used.
+func TestRegistryPinnedGraphSurvives(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	var size uint64
+	for i, name := range []string{"a", "b", "c"} {
+		src, bytes := pgrSource(t, dir, int64(10+i), 2000)
+		r.AddSource(name, src)
+		if bytes > size {
+			size = bytes
+		}
+	}
+	r.SetMaxBytes(size + size/2) // room for one graph only
+
+	ga, release, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two more loads while a is pinned: each makes a the LRU entry,
+	// but eviction must pass over it and take the idle one instead.
+	for _, name := range []string{"b", "c"} {
+		g, rel, err := r.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.NumVertices()
+		rel()
+	}
+	if got := loadedSet(r); !got["a"] {
+		t.Fatalf("pinned graph a evicted: loaded = %v", got)
+	}
+	// The pinned graph must still be fully usable (would fault if its
+	// mapping had been unmapped).
+	var sum uint64
+	for v := uint32(0); v < ga.NumVertices(); v++ {
+		for _, u := range ga.Adj(v) {
+			sum += uint64(u)
+		}
+	}
+	if sum == 0 {
+		t.Fatal("pinned graph unreadable")
+	}
+	var pinned int
+	for _, gi := range r.List() {
+		if gi.Name == "a" {
+			pinned = gi.Pinned
+		}
+	}
+	if pinned != 1 {
+		t.Fatalf("a reports %d pins, want 1", pinned)
+	}
+
+	// After release (idempotent), a becomes evictable again.
+	release()
+	release()
+	g, rel, err := r.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.NumVertices()
+	rel()
+	if got := loadedSet(r); got["a"] {
+		t.Fatalf("released graph a not evicted under pressure: loaded = %v", got)
+	}
+}
+
+// Concurrent acquire/use/release across more graphs than the budget
+// holds: every access must see a valid mapped graph (a pin bug faults
+// here), accounting must stay consistent, and the run is race-checked
+// by CI's -race pass.
+func TestRegistryConcurrentEvictionChurn(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	names := []string{"a", "b", "c", "d"}
+	var size uint64
+	sums := make(map[string]uint64) // expected adjacency checksum per graph
+	for i, name := range names {
+		src, bytes := pgrSource(t, dir, int64(20+i), 1500)
+		r.AddSource(name, src)
+		if bytes > size {
+			size = bytes
+		}
+		g, err := src.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum uint64
+		for v := uint32(0); v < g.NumVertices(); v++ {
+			for _, u := range g.Adj(v) {
+				sum += uint64(u)
+			}
+		}
+		sums[name] = sum
+		g.Close()
+	}
+	r.SetMaxBytes(2 * size) // roughly half the working set
+
+	const workers = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				name := names[rng.Intn(len(names))]
+				g, release, err := r.Acquire(name)
+				if err != nil {
+					errs <- fmt.Errorf("Acquire(%q): %w", name, err)
+					return
+				}
+				var sum uint64
+				for v := uint32(0); v < g.NumVertices(); v++ {
+					for _, u := range g.Adj(v) {
+						sum += uint64(u)
+					}
+				}
+				if sum != sums[name] {
+					errs <- fmt.Errorf("graph %q corrupted under churn: sum %d, want %d", name, sum, sums[name])
+					release()
+					return
+				}
+				release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All pins released: the registry must be able to settle under
+	// budget, and bookkeeping must balance.
+	r.SetMaxBytes(size / 2)
+	if res := r.ResidentBytes(); res != 0 {
+		t.Fatalf("resident = %d after evicting everything, want 0", res)
+	}
+	for _, gi := range r.List() {
+		if gi.Pinned != 0 {
+			t.Fatalf("graph %q still pinned after all releases: %+v", gi.Name, gi)
+		}
+	}
+}
+
+// Shared memory-source graphs (AddGraph) are materialized at
+// registration, count against the budget permanently, and are never
+// evicted — the registry doesn't own them, so "evicting" would free
+// nothing while Closing could gut an instance other holders use.
+func TestRegistrySharedGraphsNeverEvicted(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+
+	// An mmap-backed graph registered under TWO names: eviction
+	// pressure on one entry must never unmap the instance the other
+	// entry (or the caller) still uses.
+	src, memBytes := pgrSource(t, dir, 50, 1500)
+	mg, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddGraph("m1", "test:m1", mg)
+	r.AddGraph("m2", "test:m2", mg)
+	if res := r.ResidentBytes(); res != 2*memBytes {
+		t.Fatalf("resident after registering shared graphs = %d, want %d", res, 2*memBytes)
+	}
+	fileSrc, _ := pgrSource(t, dir, 51, 1500)
+	r.AddSource("f", fileSrc)
+	r.SetMaxBytes(memBytes) // far under the shared graphs' footprint
+
+	// Shared entries stay loaded; only the file-backed graph cycles.
+	g, release, err := r.Acquire("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.NumVertices()
+	release()
+	if got := loadedSet(r); !got["m1"] || !got["m2"] {
+		t.Fatalf("shared graphs evicted: loaded = %v", got)
+	}
+	// The instance must still be mapped and readable through both
+	// entries and the caller's own reference.
+	if mg.NumVertices() == 0 {
+		t.Fatal("shared graph was closed by eviction")
+	}
+	for _, name := range []string{"m1", "m2"} {
+		got, rel, err := r.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != mg || got.NumVertices() == 0 {
+			t.Fatalf("Acquire(%q) = %v, want the registered shared instance", name, got)
+		}
+		rel()
+	}
+	// Replacing a shared entry removes its accounting but must not
+	// Close the caller-owned graph.
+	r.AddSource("m1", fileSrc)
+	if mg.NumVertices() == 0 {
+		t.Fatal("replacing a shared entry closed the caller's graph")
+	}
+}
+
+// Re-registering a name while queries hold the old graph must keep
+// the accounting consistent: the replaced graph leaves the resident
+// total, in-flight queries finish against the graph they acquired,
+// and the new source serves subsequent queries.
+func TestRegistryReplaceWhilePinned(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	src1, _ := pgrSource(t, dir, 40, 1000)
+	r.AddSource("g", src1)
+
+	old, release, err := r.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldVerts := old.NumVertices()
+
+	src2, _ := pgrSource(t, dir, 41, 2000)
+	r.AddSource("g", src2)
+	if res := r.ResidentBytes(); res != 0 {
+		t.Fatalf("replaced graph still accounted: resident = %d", res)
+	}
+	// The pinned old graph must still be fully readable.
+	var sum uint64
+	for v := uint32(0); v < old.NumVertices(); v++ {
+		for _, u := range old.Adj(v) {
+			sum += uint64(u)
+		}
+	}
+	if sum == 0 || old.NumVertices() != oldVerts {
+		t.Fatal("old graph unreadable after replacement")
+	}
+	release()
+
+	g, rel2, err := r.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if g.NumVertices() == oldVerts {
+		t.Fatal("Acquire after replacement returned the old graph")
+	}
+	if r.ResidentBytes() != g.Bytes() {
+		t.Fatalf("resident = %d, want the new graph's %d", r.ResidentBytes(), g.Bytes())
+	}
+}
+
+// Each server compiles plans through its own cache: one server's
+// query traffic must not show up in — or evict entries of — another's.
+func TestServersHaveIsolatedPlanCaches(t *testing.T) {
+	s1, ts1 := newTestServer(t)
+	s2, ts2 := newTestServer(t)
+
+	body := `{"graph":"tri2","kind":"count","pattern":"0-1 1-2 2-0 [0:7070] [1:7071] [2:7072]","wait":true}`
+	if code, _ := postQuery(t, ts1, body); code != 200 {
+		t.Fatalf("query on server 1: HTTP %d", code)
+	}
+	if h, m := s1.PlanCache().Stats(); m != 1 || h != 0 {
+		t.Fatalf("server 1 cache hits/misses = %d/%d, want 0/1", h, m)
+	}
+	if h, m := s2.PlanCache().Stats(); h != 0 || m != 0 {
+		t.Fatalf("server 2 cache moved without traffic: hits/misses = %d/%d", h, m)
+	}
+	if code, _ := postQuery(t, ts1, body); code != 200 {
+		t.Fatalf("repeat query on server 1: HTTP %d", code)
+	}
+	if h, _ := s1.PlanCache().Stats(); h != 1 {
+		t.Fatalf("server 1 repeat query did not hit its cache (hits = %d)", h)
+	}
+	if code, _ := postQuery(t, ts2, body); code != 200 {
+		t.Fatalf("query on server 2: HTTP %d", code)
+	}
+	if h, m := s2.PlanCache().Stats(); m != 1 || h != 0 {
+		t.Fatalf("server 2 compiled through a shared cache: hits/misses = %d/%d, want 0/1", h, m)
+	}
+}
+
+// GET /v1/graphs metadata for a .pgr-backed graph must be available
+// before the graph is ever loaded, straight from the header.
+func TestRegistryStatBeforeLoad(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	src, bytes := pgrSource(t, dir, 30, 1000)
+	r.AddSource("g", src)
+
+	infos := r.List()
+	if len(infos) != 1 {
+		t.Fatalf("List returned %d rows", len(infos))
+	}
+	gi := infos[0]
+	if gi.Loaded {
+		t.Fatal("graph reported loaded before any query")
+	}
+	if gi.Vertices == 0 || gi.Edges == 0 {
+		t.Fatalf("pre-load metadata missing: %+v", gi)
+	}
+	if gi.Bytes == 0 {
+		t.Fatalf("pre-load size estimate missing: %+v", gi)
+	}
+	if n := r.LoadCount("g"); n != 0 {
+		t.Fatalf("List triggered %d loads, want 0", n)
+	}
+
+	// The estimate and the real residency must agree.
+	g, release, err := r.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if got := g.Bytes(); got != bytes {
+		t.Fatalf("loaded Bytes = %d, want %d", got, bytes)
+	}
+}

@@ -358,13 +358,13 @@ func TestGraphsEndpoint(t *testing.T) {
 func TestRegistryRetriesFailedLoad(t *testing.T) {
 	reg := NewRegistry()
 	calls := 0
-	reg.add("flaky", "test:flaky", func() (*graph.Graph, error) {
+	reg.AddSource("flaky", graph.FuncSource("test:flaky", func() (*graph.Graph, error) {
 		calls++
 		if calls == 1 {
 			return nil, fmt.Errorf("transient failure")
 		}
 		return triangleGraph(1), nil
-	})
+	}))
 	if _, err := reg.Get("flaky"); err == nil {
 		t.Fatal("first Get succeeded, want transient error")
 	}

@@ -47,9 +47,22 @@ type GraphBuilder = graph.Builder
 // NewGraphBuilder returns an empty graph builder.
 func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
 
-// LoadGraph reads a data graph from an edge-list file ("src dst" lines,
-// optional "v id label" lines, '#' comments).
-func LoadGraph(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+// LoadGraph reads a data graph from a file in either supported format,
+// detected from the content: the .pgr binary CSR format (loaded by
+// mmap where possible) or a text edge list ("src dst" lines, optional
+// "v id label" lines, '#' comments). Use Open to defer the load.
+//
+// A .pgr-backed graph holds a file mapping until Close is called;
+// processes loading many graphs over their lifetime should Close each
+// one when done (a dropped, un-Closed graph keeps its read-only
+// mapping until process exit).
+func LoadGraph(path string) (*Graph, error) {
+	src, err := graph.OpenPath(path)
+	if err != nil {
+		return nil, err
+	}
+	return src.Load()
+}
 
 // GraphFromEdges builds an unlabeled graph from (src, dst) pairs.
 func GraphFromEdges(edges [][2]uint32) *Graph {
@@ -147,6 +160,7 @@ type Option func(*config)
 type config struct {
 	opts          core.Options
 	vertexInduced bool
+	planCache     *plan.Cache // nil means the process-wide default
 }
 
 // WithThreads sets the worker count (default: GOMAXPROCS).

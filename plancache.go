@@ -1,0 +1,37 @@
+package peregrine
+
+// Plan-cache handles. Plans compile through a cache keyed by the
+// pattern's canonical form; by default that is one process-wide cache,
+// but multi-tenant embedders (one mining service per server instance,
+// tests that need isolation) can carve out their own handle and route
+// queries through it with WithPlanCache.
+
+import "peregrine/internal/plan"
+
+// PlanCache is an isolated exploration-plan cache with LRU eviction.
+// The zero value is not usable; construct with NewPlanCache. All
+// methods are safe for concurrent use.
+type PlanCache struct {
+	c *plan.Cache
+}
+
+// NewPlanCache returns an empty plan cache bounded at maxEntries
+// distinct pattern shapes (<= 0 means the default bound, 4096). At the
+// bound the least-recently-used shape is evicted and simply recompiles
+// on next use.
+func NewPlanCache(maxEntries int) *PlanCache {
+	return &PlanCache{c: plan.NewCacheSize(maxEntries)}
+}
+
+// Stats reports the cache's cumulative hit and miss counts.
+func (pc *PlanCache) Stats() (hits, misses uint64) { return pc.c.Stats() }
+
+// Len returns the number of distinct pattern shapes cached.
+func (pc *PlanCache) Len() int { return pc.c.Len() }
+
+// WithPlanCache routes a query's plan compilation through pc instead
+// of the process-wide default cache. Pass it to Prepare/PrepareWith or
+// to any one-shot entry point (Count, ForEachMatch, ...).
+func WithPlanCache(pc *PlanCache) Option {
+	return func(c *config) { c.planCache = pc.c }
+}

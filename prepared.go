@@ -64,6 +64,9 @@ type PreparedQuery struct {
 	// same options reuse it directly, others recompile through the cache.
 	vertexInduced bool
 	noSym         bool
+	// planCache is the cache the query was prepared in (WithPlanCache);
+	// nil means the process-wide default. Recompiles go back to it.
+	planCache *plan.Cache
 }
 
 // Prepare compiles patterns into a reusable query. Plans come from the
@@ -95,6 +98,7 @@ func PrepareWith(opts []Option, patterns ...*Pattern) (*PreparedQuery, error) {
 		compiled:      compiled,
 		vertexInduced: c.vertexInduced,
 		noSym:         c.opts.NoSymmetryBreaking,
+		planCache:     c.planCache,
 	}, nil
 }
 
@@ -102,10 +106,14 @@ func PrepareWith(opts []Option, patterns ...*Pattern) (*PreparedQuery, error) {
 // plan-affecting options (vertex-induced conversion, symmetry
 // breaking).
 func compilePatterns(ps []*Pattern, c config) ([]preparedPattern, error) {
+	cache := c.planCache
+	if cache == nil {
+		cache = defaultPlanCache
+	}
 	out := make([]preparedPattern, len(ps))
 	for i, p := range ps {
 		eff := c.pattern(p)
-		cached, err := defaultPlanCache.Get(eff, plan.Options{NoSymmetryBreaking: c.opts.NoSymmetryBreaking})
+		cached, err := cache.Get(eff, plan.Options{NoSymmetryBreaking: c.opts.NoSymmetryBreaking})
 		if err != nil {
 			return nil, fmt.Errorf("peregrine: pattern %d (%v): %w", i, p, err)
 		}
@@ -121,6 +129,9 @@ func (q *PreparedQuery) buildConfig(opts []Option) config {
 	c := buildConfig(opts)
 	c.vertexInduced = c.vertexInduced || q.vertexInduced
 	c.opts.NoSymmetryBreaking = c.opts.NoSymmetryBreaking || q.noSym
+	if c.planCache == nil {
+		c.planCache = q.planCache
+	}
 	return c
 }
 
