@@ -23,23 +23,32 @@ type MotifCount struct {
 // matched in a single traversal of g via the prepared multi-pattern
 // path.
 func MotifCounts(g *Graph, size int, opts ...Option) ([]MotifCount, error) {
+	out, _, err := MotifCountsWithStats(g, size, opts...)
+	return out, err
+}
+
+// MotifCountsWithStats is MotifCounts along with the batched execution
+// statistics. Motif batches are the prime beneficiary of cross-pattern
+// traversal sharing — all k-motifs explore heavily overlapping ordered
+// views — and MultiStats.Share quantifies the intersections saved.
+func MotifCountsWithStats(g *Graph, size int, opts ...Option) ([]MotifCount, MultiStats, error) {
 	if size < 2 {
-		return nil, fmt.Errorf("peregrine: motif size %d < 2", size)
+		return nil, MultiStats{}, fmt.Errorf("peregrine: motif size %d < 2", size)
 	}
 	motifs := pattern.GenerateAllVertexInduced(size)
 	vind := make([]*Pattern, len(motifs))
 	for i, m := range motifs {
 		vind[i] = pattern.VertexInduced(m)
 	}
-	counts, err := CountMany(g, vind, opts...)
+	counts, ms, err := CountManyWithStats(g, vind, opts...)
 	if err != nil {
-		return nil, err
+		return nil, MultiStats{}, err
 	}
 	out := make([]MotifCount, len(motifs))
 	for i, m := range motifs {
 		out[i] = MotifCount{Pattern: m, Count: counts[i]}
 	}
-	return out, nil
+	return out, ms, nil
 }
 
 // LabeledMotifCounts counts vertex-induced occurrences of every motif of

@@ -101,13 +101,23 @@ type Options struct {
 	// their next check, and Stats.Stopped reports the truncation. This is
 	// how long-running services abort queries whose client went away.
 	Context context.Context
+
+	// NoSharing disables cross-pattern traversal sharing: every matching
+	// order runs as its own root-to-leaf chain, performing exactly the
+	// per-plan work of a serial loop. The sharing ablation — counts are
+	// identical either way; only MultiStats.Share differs.
+	NoSharing bool
 }
 
-// Stats summarizes one match execution.
+// Stats summarizes one match execution. In a batched run (RunPlans)
+// each plan's Stats is exact for that plan: Tasks counts the start
+// vertices on which the plan's matching orders were actually attempted
+// (its start-label gate passed), so a label-constrained plan in a batch
+// reports only its own share of the scan.
 type Stats struct {
 	Matches     uint64        // complete matches found (callback invocations, or counted matches)
 	CoreMatches uint64        // matches of the pattern core
-	Tasks       uint64        // start vertices processed
+	Tasks       uint64        // start vertices this plan was attempted on
 	Stopped     bool          // true if exploration terminated early
 	PlanTime    time.Duration // exploration-plan generation time
 	MatchTime   time.Duration // wall time of the parallel exploration
@@ -165,11 +175,32 @@ func RunPlan(g *graph.Graph, pl *plan.Plan, cb Callback, opt Options) Stats {
 // Callback, implementations must be safe for concurrent invocation.
 type PlanCallback func(ctx *Ctx, pat int, m *Match)
 
+// ShareStats quantifies cross-pattern traversal sharing in one batched
+// execution: how much of the batch's core exploration was merged into
+// shared trie nodes, and how many adjacency-intersection computations
+// that merging avoided relative to running every matching order alone.
+type ShareStats struct {
+	// TrieNodes is the number of step nodes in the executed trie;
+	// ProgramSteps is the number of steps across all matching orders
+	// before merging. TrieNodes < ProgramSteps means prefixes merged.
+	TrieNodes    uint64
+	ProgramSteps uint64
+
+	// SharedNodeVisits counts node expansions whose candidate set served
+	// more than one matching order. Intersections counts candidate-set
+	// computations performed; IntersectionsSaved counts the computations
+	// unshared execution would have performed on top of that.
+	SharedNodeVisits   uint64
+	Intersections      uint64
+	IntersectionsSaved uint64
+}
+
 // MultiStats summarizes one batched execution of several plans over a
 // single graph traversal.
 type MultiStats struct {
-	Per       []Stats       // per-plan match and core-match counts
+	Per       []Stats       // per-plan stats, exact per plan (see Stats)
 	Tasks     uint64        // start vertices processed — once for the whole batch
+	Share     ShareStats    // cross-pattern traversal sharing telemetry
 	Stopped   bool          // true if exploration terminated early
 	MatchTime time.Duration // wall time of the parallel exploration
 	Threads   int
@@ -187,11 +218,16 @@ func (ms *MultiStats) Matches() uint64 {
 // RunPlans runs several precomputed plans in one pass over the data
 // graph: each start vertex is claimed once from the shared task counter
 // and every plan's matching orders are explored from it before the next
-// vertex is taken. The per-pattern work is the same as running each
-// plan alone, but the task scan — and the scheduler's pass over the
-// vertex set — is shared, which is what makes batched multi-pattern
-// queries (motif counts, query batches on one graph) cheaper than a
-// serial loop of independent traversals.
+// vertex is taken. Beyond the shared task scan, the core traversals
+// themselves are shared: all plans' matching orders are merged into a
+// prefix trie of canonical exploration steps (plan.BuildShareTrie), and
+// each shared node's candidate set is computed once per partial binding
+// and reused by every matching order below it. Plans whose matching
+// orders induce identical ordered-view prefixes — most of a motif
+// batch — diverge only at their first differing step, which is what
+// makes batched multi-pattern queries cheaper than a serial loop of
+// independent traversals. MultiStats.Share reports the savings;
+// Options.NoSharing disables the merge for ablation.
 //
 // Matches are tagged with the index of the plan that produced them via
 // cb's pat argument. The same plan pointer may appear more than once in
@@ -236,6 +272,17 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 			}
 		}()
 	}
+	// The trie is pattern-side only and cheap to build (microseconds for
+	// mining-size batches), so it is rebuilt per run rather than cached.
+	var trie *plan.ShareTrie
+	if opt.NoSharing {
+		trie = plan.BuildUnsharedTrie(pls)
+	} else {
+		trie = plan.BuildShareTrie(pls)
+	}
+	ms.Share.TrieNodes = trie.Nodes
+	ms.Share.ProgramSteps = trie.ProgramSteps
+
 	// Tasks are handed out from the highest vertex id down: ids are
 	// degree-ordered, so high-degree (expensive, heavily-pruned) tasks
 	// run first to avoid stragglers (§5.2).
@@ -243,25 +290,18 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 	next.Store(n)
 
 	stats := make([][]Stats, threads)
+	shares := make([]ShareStats, threads)
 	tasks := make([]uint64, threads)
 	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			// All of a thread's per-plan workers share one stage recorder:
-			// they run sequentially within the thread, so stage times
-			// attribute correctly across plans.
+			// The thread's trie walker and per-plan completion workers
+			// share one stage recorder: they run sequentially within the
+			// thread, so stage times attribute correctly across plans.
 			tb := opt.Breakdown.Thread()
-			ws := make([]*worker, len(pls))
-			for pi, pl := range pls {
-				var wcb Callback
-				if cb != nil {
-					pi := pi
-					wcb = func(ctx *Ctx, m *Match) { cb(ctx, pi, m) }
-				}
-				ws[pi] = newWorker(g, pl, wcb, tid, &stop, tb)
-			}
+			mw := newMultiWorker(g, trie, pls, cb, tid, &stop, tb)
 			busyStart := time.Now()
 			// Accumulate locally: adjacent tasks[] slots share cache
 			// lines, and this counter bumps once per claimed vertex.
@@ -271,9 +311,7 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 				if i < 0 || stop.Load() {
 					break
 				}
-				for _, w := range ws {
-					w.runTask(uint32(i))
-				}
+				mw.runTask(uint32(i))
 				done++
 			}
 			tasks[tid] = done
@@ -281,24 +319,28 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 			finish := time.Now()
 			opt.LoadBalance.Report(tid, finish.Sub(busyStart), finish)
 			stats[tid] = make([]Stats, len(pls))
-			for pi, w := range ws {
-				stats[tid][pi] = w.stats
+			for pi, pw := range mw.pws {
+				stats[tid][pi] = pw.stats
 			}
+			shares[tid] = mw.share
 		}(t)
 	}
 	wg.Wait()
 
 	for tid := range stats {
 		ms.Tasks += tasks[tid]
+		ms.Share.SharedNodeVisits += shares[tid].SharedNodeVisits
+		ms.Share.Intersections += shares[tid].Intersections
+		ms.Share.IntersectionsSaved += shares[tid].IntersectionsSaved
 		for pi, s := range stats[tid] {
 			ms.Per[pi].Matches += s.Matches
 			ms.Per[pi].CoreMatches += s.CoreMatches
+			ms.Per[pi].Tasks += s.Tasks
 		}
 	}
 	for pi := range ms.Per {
 		// Per-plan snapshots share the batch-wide traversal figures so
 		// each reads as a complete Stats on its own.
-		ms.Per[pi].Tasks = ms.Tasks
 		ms.Per[pi].Stopped = stop.Load()
 		ms.Per[pi].MatchTime = time.Since(start)
 		ms.Per[pi].Threads = threads
@@ -308,39 +350,194 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 	return ms
 }
 
-// worker holds all per-thread state; tasks share nothing but the atomic
-// task counter and the stop flag (§5.1: "tasks ... are independent of
-// each other").
+// multiWorker is one thread's trie executor plus the per-plan
+// completion workers it feeds; tasks share nothing across threads but
+// the atomic task counter and the stop flag (§5.1: "tasks ... are
+// independent of each other"). All candidate-set sharing happens inside
+// one multiWorker — shared nodes never alias buffers between threads.
+type multiWorker struct {
+	g    *graph.Graph
+	trie *plan.ShareTrie
+	ctx  Ctx
+	pws  []*worker // per-plan completion state, indexed like the plan slice
+
+	data    []uint32   // visit index -> data id for the current partial binding
+	bufs    [][]uint32 // candidate scratch per trie depth (bufs[d-1] for depth d)
+	listArg [][]uint32 // scratch for gathering adjacency list operands
+	touched []bool     // per-plan task-attribution flags, reset per task
+
+	share ShareStats
+	tb    *profile.ThreadBreakdown
+}
+
+func newMultiWorker(g *graph.Graph, trie *plan.ShareTrie, pls []*plan.Plan, cb PlanCallback, tid int, stop *atomic.Bool, tb *profile.ThreadBreakdown) *multiWorker {
+	mw := &multiWorker{
+		g:       g,
+		trie:    trie,
+		ctx:     Ctx{Thread: tid, G: g, stop: stop},
+		pws:     make([]*worker, len(pls)),
+		data:    make([]uint32, trie.MaxCore),
+		listArg: make([][]uint32, 0, trie.MaxCore),
+		touched: make([]bool, len(pls)),
+		tb:      tb,
+	}
+	if trie.MaxCore > 1 {
+		mw.bufs = make([][]uint32, trie.MaxCore-1)
+	}
+	for pi, pl := range pls {
+		var wcb Callback
+		if cb != nil {
+			pi := pi
+			wcb = func(ctx *Ctx, m *Match) { cb(ctx, pi, m) }
+		}
+		mw.pws[pi] = newWorker(g, pl, wcb, &mw.ctx, tb)
+	}
+	return mw
+}
+
+// runTask explores all matches whose maximum-id core vertex is v (§5.1):
+// v binds visit index 0 of every root whose start-label gate admits it,
+// and the trie walk matches the remaining core positions downward.
+func (mw *multiWorker) runTask(v uint32) {
+	vlabel := pattern.Label(mw.g.Label(v))
+	for pi := range mw.touched {
+		mw.touched[pi] = false
+	}
+	for _, root := range mw.trie.Roots {
+		if root.Step.Label != pattern.Wildcard && root.Step.Label != vlabel {
+			continue
+		}
+		// Exact per-plan task attribution: a plan is charged a task when
+		// any of its matching orders is attempted on it, once per task.
+		for _, pi := range root.Plans {
+			if !mw.touched[pi] {
+				mw.touched[pi] = true
+				mw.pws[pi].stats.Tasks++
+			}
+		}
+		mw.data[0] = v
+		for i := range root.Leaves {
+			mw.deliver(&root.Leaves[i])
+		}
+		mw.descend(root)
+	}
+}
+
+// descend expands every child of n: the child's candidate set is
+// computed once and reused by all child.MOs matching orders in its
+// subtree — the cross-pattern sharing the trie exists for.
+func (mw *multiWorker) descend(n *plan.ShareNode) {
+	for _, child := range n.Children {
+		if mw.ctx.stop.Load() {
+			return
+		}
+		st := &child.Step
+
+		mw.tb.Enter(profile.StagePO)
+		lo, hi := noLo, noHi
+		if st.Lo >= 0 {
+			lo = int64(mw.data[st.Lo])
+		}
+		if st.Hi >= 0 {
+			hi = int64(mw.data[st.Hi])
+		}
+		mw.tb.Enter(profile.StageCore)
+		lists := mw.listArg[:0]
+		for _, t := range st.Nbr {
+			lists = append(lists, mw.g.Adj(mw.data[t]))
+		}
+		d := child.Depth - 1
+		if cap(mw.bufs[d]) == 0 {
+			mw.bufs[d] = make([]uint32, 0, 256)
+		}
+		cands := intersectListsInto(mw.bufs[d], lists, lo, hi)
+		if len(lists) > 1 && cap(cands) > cap(mw.bufs[d]) {
+			// Keep the grown buffer for future tasks. Single-list results
+			// are views into graph storage and must not be adopted.
+			mw.bufs[d] = cands[:0:cap(cands)]
+		}
+		mw.share.Intersections++
+		if child.MOs > 1 {
+			mw.share.SharedNodeVisits++
+			mw.share.IntersectionsSaved += uint64(child.MOs - 1)
+		}
+
+		// Candidate filtering and descent are part of matching the core
+		// (Figure 11's "Core" stage); deeper levels re-attribute themselves.
+		for _, c := range cands {
+			if st.Label != pattern.Wildcard && pattern.Label(mw.g.Label(c)) != st.Label {
+				continue
+			}
+			if mw.rejectAnti(c, st.Anti) {
+				continue
+			}
+			mw.data[child.Depth] = c
+			if len(child.Leaves) > 0 {
+				for i := range child.Leaves {
+					mw.deliver(&child.Leaves[i])
+				}
+				mw.tb.Enter(profile.StageCore)
+			}
+			mw.descend(child)
+			mw.tb.Enter(profile.StageCore)
+		}
+	}
+}
+
+// deliver hands a complete ordered-view binding to the owning plan's
+// completion worker: the visit-space binding is translated back to the
+// matching order's position space and completed per §4.1.
+func (mw *multiWorker) deliver(lf *plan.ShareLeaf) {
+	pw := mw.pws[lf.Plan]
+	pw.stats.CoreMatches++
+	for t, pos := range lf.MO.Visit {
+		pw.coreData[pos] = mw.data[t]
+	}
+	pw.completeCore(lf.MO)
+}
+
+// rejectAnti reports whether candidate c is adjacent to the binding of
+// any anti-adjacent visit index (anti-edge enforcement inside the core).
+func (mw *multiWorker) rejectAnti(c uint32, anti []int) bool {
+	for _, t := range anti {
+		if mw.g.HasEdge(c, mw.data[t]) {
+			return true
+		}
+	}
+	return false
+}
+
+// worker holds one plan's completion state on one thread: once the trie
+// walk delivers a core binding, the worker completes non-core vertices,
+// verifies anti-vertex constraints, and invokes the callback.
 type worker struct {
 	g   *graph.Graph
 	pl  *plan.Plan
 	cb  Callback
-	ctx Ctx
+	ctx *Ctx // the owning thread's context, shared across its workers
 
 	match    []uint32 // pattern vertex -> data id for the current match
 	coreData []uint32 // matching-order position -> data id
 	assigned []uint32 // data ids matched so far (core + completed non-core)
 
-	coreBufs [][]uint32 // scratch per core recursion depth
-	ncBufs   [][]uint32 // scratch per completion depth
-	listArg  [][]uint32 // scratch for gathering adjacency list operands
+	ncBufs  [][]uint32 // scratch per completion depth
+	listArg [][]uint32 // scratch for gathering adjacency list operands
 
 	m     Match // reused callback argument
 	stats Stats
 	tb    *profile.ThreadBreakdown
 }
 
-func newWorker(g *graph.Graph, pl *plan.Plan, cb Callback, tid int, stop *atomic.Bool, tb *profile.ThreadBreakdown) *worker {
+func newWorker(g *graph.Graph, pl *plan.Plan, cb Callback, ctx *Ctx, tb *profile.ThreadBreakdown) *worker {
 	n := pl.Pat.N()
 	w := &worker{
 		g:        g,
 		pl:       pl,
 		cb:       cb,
-		ctx:      Ctx{Thread: tid, G: g, stop: stop},
+		ctx:      ctx,
 		match:    make([]uint32, n),
 		coreData: make([]uint32, len(pl.Core)),
 		assigned: make([]uint32, 0, n),
-		coreBufs: make([][]uint32, len(pl.Core)),
 		ncBufs:   make([][]uint32, len(pl.NonCore)+1),
 		listArg:  make([][]uint32, 0, n),
 		tb:       tb,
@@ -350,81 +547,6 @@ func newWorker(g *graph.Graph, pl *plan.Plan, cb Callback, tid int, stop *atomic
 	}
 	w.m = Match{Pattern: pl.Pat, Mapping: w.match}
 	return w
-}
-
-// runTask explores all matches whose maximum-id core vertex is v (§5.1):
-// v is bound to the highest position of each matching order, and the
-// remaining core positions are matched downward.
-func (w *worker) runTask(v uint32) {
-	for _, mo := range w.pl.Orders {
-		if mo.Labels[mo.K-1] != pattern.Wildcard && pattern.Label(w.g.Label(v)) != mo.Labels[mo.K-1] {
-			continue
-		}
-		w.coreData[mo.K-1] = v
-		w.matchCore(mo, 0)
-	}
-}
-
-// matchCore recursively matches the remaining core positions of mo in
-// traversal order; step t matches position mo.Steps[t].Pos.
-func (w *worker) matchCore(mo *plan.MatchingOrder, t int) {
-	if t == len(mo.Steps) {
-		w.stats.CoreMatches++
-		w.completeCore(mo)
-		return
-	}
-	if w.ctx.stop.Load() {
-		return
-	}
-	st := &mo.Steps[t]
-
-	w.tb.Enter(profile.StagePO)
-	lo, hi := noLo, noHi
-	if st.LoPos >= 0 {
-		lo = int64(w.coreData[st.LoPos])
-	}
-	if st.HiPos >= 0 {
-		hi = int64(w.coreData[st.HiPos])
-	}
-	w.tb.Enter(profile.StageCore)
-	lists := w.listArg[:0]
-	for _, p := range st.NbrVisited {
-		lists = append(lists, w.g.Adj(w.coreData[p]))
-	}
-	if cap(w.coreBufs[t]) == 0 {
-		w.coreBufs[t] = make([]uint32, 0, 256)
-	}
-	cands := intersectListsInto(w.coreBufs[t], lists, lo, hi)
-	if len(lists) > 1 && cap(cands) > cap(w.coreBufs[t]) {
-		// Keep the grown buffer for future tasks. Single-list results are
-		// views into graph storage and must not be adopted.
-		w.coreBufs[t] = cands[:0:cap(cands)]
-	}
-
-	// Candidate filtering and descent are part of matching the core
-	// (Figure 11's "Core" stage); deeper levels re-attribute themselves.
-	for _, c := range cands {
-		if st.Label != pattern.Wildcard && pattern.Label(w.g.Label(c)) != st.Label {
-			continue
-		}
-		if w.rejectAnti(c, st.AntiVisited) {
-			continue
-		}
-		w.coreData[st.Pos] = c
-		w.matchCore(mo, t+1)
-		w.tb.Enter(profile.StageCore)
-	}
-}
-
-// rejectAnti reports whether candidate c is adjacent to the match of any
-// anti-adjacent visited position (anti-edge enforcement inside the core).
-func (w *worker) rejectAnti(c uint32, antiPos []int) bool {
-	for _, p := range antiPos {
-		if w.g.HasEdge(c, w.coreData[p]) {
-			return true
-		}
-	}
-	return false
 }
 
 // completeCore converts the matched ordered view into core matches — one
@@ -459,7 +581,7 @@ func (w *worker) completeFrom(i int) {
 			w.stats.Matches++
 			if w.cb != nil {
 				w.tb.Enter(profile.StageOther)
-				w.cb(&w.ctx, &w.m)
+				w.cb(w.ctx, &w.m)
 			}
 		}
 		return

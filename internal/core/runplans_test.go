@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"peregrine/internal/gen"
+	"peregrine/internal/graph"
 	"peregrine/internal/pattern"
 	"peregrine/internal/plan"
 )
@@ -86,6 +87,78 @@ func TestRunPlansTagsAndDuplicates(t *testing.T) {
 	}
 	if total := ms.Matches(); total != perPlan[0]+perPlan[1]+perPlan[2] {
 		t.Errorf("MultiStats.Matches = %d, want %d", total, perPlan[0]+perPlan[1]+perPlan[2])
+	}
+}
+
+// Per-plan stats must be exactly attributed: a label-constrained plan
+// in a batch is charged only the tasks its start-label gate admitted,
+// while wildcard plans are charged every claimed task — and the
+// batch-wide Tasks figure still counts the single shared scan.
+func TestRunPlansPerPlanTaskAttribution(t *testing.T) {
+	b := graph.NewBuilder()
+	// Two triangles: one all label 1, one all label 2.
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	for v := uint32(0); v < 3; v++ {
+		b.SetLabel(v, 1)
+	}
+	for v := uint32(3); v < 6; v++ {
+		b.SetLabel(v, 2)
+	}
+	g := b.Build()
+
+	wild := mustPlan(t, pattern.Clique(3))
+	lab1 := mustPlan(t, pattern.MustParse("0-1 1-2 2-0 [0:1] [1:1] [2:1]"))
+	lab2 := mustPlan(t, pattern.MustParse("0-1 1-2 2-0 [0:2] [1:2] [2:2]"))
+	ms := RunPlans(g, []*plan.Plan{wild, lab1, lab2}, nil, Options{Threads: 2})
+
+	if ms.Tasks != 6 {
+		t.Errorf("batch tasks = %d, want 6 (one shared scan)", ms.Tasks)
+	}
+	if ms.Per[0].Tasks != 6 {
+		t.Errorf("wildcard plan tasks = %d, want 6", ms.Per[0].Tasks)
+	}
+	if ms.Per[1].Tasks != 3 || ms.Per[2].Tasks != 3 {
+		t.Errorf("labeled plan tasks = %d / %d, want 3 / 3 (label-gated)", ms.Per[1].Tasks, ms.Per[2].Tasks)
+	}
+	if ms.Per[0].Matches != 2 || ms.Per[1].Matches != 1 || ms.Per[2].Matches != 1 {
+		t.Errorf("matches = %d / %d / %d, want 2 / 1 / 1", ms.Per[0].Matches, ms.Per[1].Matches, ms.Per[2].Matches)
+	}
+}
+
+// Shared and unshared execution must agree on every per-plan figure,
+// and the sharing telemetry must account exactly: intersections
+// performed plus intersections saved equals the unshared workload.
+func TestRunPlansSharingTelemetryExact(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 96, Edges: 260, Seed: 21})
+	var pls []*plan.Plan
+	for _, m := range pattern.GenerateAllVertexInduced(4) {
+		pls = append(pls, mustPlan(t, pattern.VertexInduced(m)))
+	}
+	sh := RunPlans(g, pls, nil, Options{Threads: 4})
+	un := RunPlans(g, pls, nil, Options{Threads: 4, NoSharing: true})
+
+	for i := range pls {
+		if sh.Per[i].Matches != un.Per[i].Matches || sh.Per[i].CoreMatches != un.Per[i].CoreMatches || sh.Per[i].Tasks != un.Per[i].Tasks {
+			t.Errorf("plan %d: shared %+v != unshared %+v", i, sh.Per[i], un.Per[i])
+		}
+	}
+	if sh.Share.TrieNodes >= sh.Share.ProgramSteps {
+		t.Errorf("4-motif batch built no shared prefixes: %d nodes / %d steps", sh.Share.TrieNodes, sh.Share.ProgramSteps)
+	}
+	if un.Share.TrieNodes != un.Share.ProgramSteps || un.Share.IntersectionsSaved != 0 || un.Share.SharedNodeVisits != 0 {
+		t.Errorf("unshared run reports sharing: %+v", un.Share)
+	}
+	if sh.Share.Intersections+sh.Share.IntersectionsSaved != un.Share.Intersections {
+		t.Errorf("sharing accounting: %d performed + %d saved != %d unshared",
+			sh.Share.Intersections, sh.Share.IntersectionsSaved, un.Share.Intersections)
+	}
+	if sh.Share.SharedNodeVisits == 0 || sh.Share.IntersectionsSaved == 0 {
+		t.Errorf("no sharing observed at runtime: %+v", sh.Share)
 	}
 }
 

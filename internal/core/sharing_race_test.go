@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"peregrine/internal/gen"
+	"peregrine/internal/pattern"
+	"peregrine/internal/plan"
+)
+
+// A shared trie run under many workers with mid-stream cancellation:
+// every callback reads its full Mapping (and validates it against the
+// data graph) while another worker may be expanding the same trie
+// nodes, so any aliasing of shared candidate sets between threads is a
+// data race the -race run catches, and any cross-worker buffer reuse
+// shows up as an invalid mapping. Repeated rounds vary where the stop
+// lands relative to the shared-node expansions.
+func TestSharedTrieConcurrentStopNoAliasing(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Vertices: 512, Edges: 4096, Seed: 31})
+	var pls []*plan.Plan
+	var pats []*pattern.Pattern
+	for _, m := range pattern.GenerateAllVertexInduced(4) {
+		p := pattern.VertexInduced(m)
+		pats = append(pats, p)
+		pls = append(pls, mustPlan(t, p))
+	}
+
+	full := RunPlans(g, pls, nil, Options{Threads: 8})
+	var total uint64
+	for _, s := range full.Per {
+		total += s.Matches
+	}
+	if total == 0 {
+		t.Fatal("stress graph has no 4-vertex motif matches")
+	}
+
+	for round := 0; round < 6; round++ {
+		limit := total/8 + uint64(round)*31 + 1
+		var seen atomic.Uint64
+		var invalid atomic.Uint64
+		ms := RunPlans(g, pls, func(ctx *Ctx, pat int, m *Match) {
+			// Validate the delivered mapping against the pattern: every
+			// regular pattern edge must be a data edge and all vertices
+			// distinct. A worker reading another worker's scratch would
+			// fail this (and trip the race detector).
+			p := pats[pat]
+			n := p.N()
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if m.Mapping[u] == m.Mapping[v] {
+						invalid.Add(1)
+					}
+					if p.EdgeKindOf(u, v) == pattern.Regular && !ctx.G.HasEdge(m.Mapping[u], m.Mapping[v]) {
+						invalid.Add(1)
+					}
+				}
+			}
+			if seen.Add(1) >= limit {
+				ctx.Stop()
+			}
+		}, Options{Threads: 8})
+		if invalid.Load() != 0 {
+			t.Fatalf("round %d: %d invalid mappings delivered", round, invalid.Load())
+		}
+		if !ms.Stopped {
+			// The stop raced completion; counts must then be the full ones.
+			var got uint64
+			for _, s := range ms.Per {
+				got += s.Matches
+			}
+			if got != total {
+				t.Fatalf("round %d: run not stopped but counted %d of %d", round, got, total)
+			}
+		}
+	}
+}

@@ -90,12 +90,13 @@ func matchingOrders(p *pattern.Pattern, core []int, conds []Cond) []*MatchingOrd
 	})
 
 	// Group sequences by the ordered graph they induce: positional
-	// adjacency (both colors) plus positional labels.
+	// adjacency (both colors) plus positional labels (encoded with
+	// pattern.LabelCode so distinct labels can never share a key).
 	orderKey := func(seq []int) string {
-		buf := make([]byte, 0, k*k+2*k)
+		buf := make([]byte, 0, k*k+4*k)
 		for i := 0; i < k; i++ {
-			l := uint16(int32(p.LabelOf(seq[i])) + 1)
-			buf = append(buf, byte(l>>8), byte(l))
+			lb := pattern.LabelCode(p.LabelOf(seq[i]))
+			buf = append(buf, lb[:]...)
 			for j := 0; j < i; j++ {
 				buf = append(buf, byte(p.EdgeKindOf(seq[i], seq[j])))
 			}

@@ -1,0 +1,229 @@
+package plan
+
+// Cross-pattern traversal sharing (ROADMAP: "deeper cross-pattern
+// sharing"; Pattern Morphing / DwarvesGraph-style computation reuse).
+//
+// A MatchingOrder's Steps are expressed in position space: every
+// reference is an absolute core position, so two orders from different
+// plans — or with different core sizes — never compare equal even when
+// they explore identically. ProgramOf re-expresses an order in
+// visit-index space, where step t is described purely by how it extends
+// the first t bindings: which earlier visits' adjacency lists are
+// intersected, which bound the candidate id window, which reject by
+// anti-adjacency, and what label filters candidates. Two programs with
+// equal step descriptors up to depth t enumerate exactly the same
+// partial bindings up to depth t, whatever patterns they came from —
+// the candidate set at each step is a function of the descriptor and
+// the bindings alone.
+//
+// BuildShareTrie merges the programs of every matching order of every
+// plan in a batch into a prefix trie keyed on those descriptors. The
+// engine executes the trie instead of the per-plan orders: each node's
+// candidate set is computed once per partial binding and reused by
+// every matching order in the node's subtree, so patterns whose
+// matching orders induce identical ordered-view prefixes (a 4-clique
+// and a triangle; most of a motif batch) stop re-walking the same
+// adjacency intersections.
+
+import (
+	"sort"
+
+	"peregrine/internal/pattern"
+)
+
+// ProgStep is one step of a matching order's canonical Step program.
+// All references are visit indices: 0 names the task's start vertex,
+// t names the binding made by step t (steps are 1-based in binding
+// space; Program.Steps[i] binds visit index i+1).
+type ProgStep struct {
+	// Nbr are earlier visit indices regular-adjacent to the new vertex:
+	// candidates are the intersection of their bindings' adjacency
+	// lists. Sorted; never empty (traversal grows a connected frontier).
+	Nbr []int
+
+	// Anti are earlier visit indices anti-adjacent to the new vertex:
+	// candidates adjacent to any of their bindings are rejected. Sorted.
+	Anti []int
+
+	// Lo and Hi are the visit indices whose bindings bound the candidate
+	// id window (exclusive); -1 means unbounded on that side.
+	Lo, Hi int
+
+	// Label filters candidates' data labels; Wildcard accepts any.
+	Label pattern.Label
+}
+
+// key serializes the step for exact descriptor comparison during trie
+// construction. Visit indices are < 256 for any plannable core; the
+// label uses pattern.LabelCode, the one lossless encoding every
+// structural key must share — a truncated label here would merge steps
+// of different labels and silently corrupt batched counts.
+func (s *ProgStep) key() string {
+	buf := make([]byte, 0, len(s.Nbr)+len(s.Anti)+8)
+	lb := pattern.LabelCode(s.Label)
+	buf = append(buf, lb[:]...)
+	buf = append(buf, byte(s.Lo+1), byte(s.Hi+1), byte(len(s.Nbr)))
+	for _, t := range s.Nbr {
+		buf = append(buf, byte(t))
+	}
+	for _, t := range s.Anti {
+		buf = append(buf, byte(t))
+	}
+	return string(buf)
+}
+
+// Program is the canonical executable form of one matching order: the
+// start vertex's label constraint plus one descriptor per remaining
+// core position, in traversal order. len(Steps) == K-1.
+type Program struct {
+	Start pattern.Label
+	Steps []ProgStep
+}
+
+// ProgramOf compiles mo into visit-index space. The translation is
+// lossless for exploration: executing the program binds visit indices
+// 0..K-1, and mo.Visit maps each visit index back to its core position.
+func ProgramOf(mo *MatchingOrder) Program {
+	posToVis := make([]int, mo.K)
+	for t, p := range mo.Visit {
+		posToVis[p] = t
+	}
+	pr := Program{Start: mo.Labels[mo.Visit[0]], Steps: make([]ProgStep, len(mo.Steps))}
+	for i := range mo.Steps {
+		st := &mo.Steps[i]
+		ps := ProgStep{Lo: -1, Hi: -1, Label: st.Label}
+		for _, p := range st.NbrVisited {
+			ps.Nbr = append(ps.Nbr, posToVis[p])
+		}
+		sort.Ints(ps.Nbr)
+		for _, p := range st.AntiVisited {
+			ps.Anti = append(ps.Anti, posToVis[p])
+		}
+		sort.Ints(ps.Anti)
+		if st.LoPos >= 0 {
+			ps.Lo = posToVis[st.LoPos]
+		}
+		if st.HiPos >= 0 {
+			ps.Hi = posToVis[st.HiPos]
+		}
+		pr.Steps[i] = ps
+	}
+	return pr
+}
+
+// ShareLeaf marks a matching order whose program ends at a trie node:
+// every complete binding reaching the node is one ordered-view match of
+// that order, owed to plan index Plan of the executed batch.
+type ShareLeaf struct {
+	Plan int
+	MO   *MatchingOrder
+}
+
+// ShareNode is one node of the shared-prefix execution trie. Roots bind
+// visit index 0 (the task's start vertex, label-gated by Step.Label);
+// every other node extends the binding by one vertex per Step.
+type ShareNode struct {
+	Step     ProgStep
+	Depth    int // visit index this node binds; 0 for roots
+	Children []*ShareNode
+	Leaves   []ShareLeaf
+
+	// MOs counts the matching orders whose programs pass through this
+	// node (leaves here or below): computing the node's candidate set
+	// once serves all of them, where unshared execution would compute
+	// it MOs times.
+	MOs int
+
+	// Plans lists the distinct plan indices with a matching order in
+	// this subtree. Populated on roots only, for per-plan task
+	// attribution.
+	Plans []int
+}
+
+// ShareTrie is the merged execution trie for one plan batch.
+type ShareTrie struct {
+	Roots []*ShareNode
+
+	// Nodes counts step nodes (roots excluded: the start vertex costs
+	// no intersection). ProgramSteps counts steps across all matching
+	// orders before merging; Nodes < ProgramSteps means prefixes merged.
+	Nodes        uint64
+	ProgramSteps uint64
+
+	// MaxCore is the deepest binding any program makes (the largest
+	// core size in the batch); executors size per-depth scratch by it.
+	MaxCore int
+}
+
+// BuildShareTrie merges the Step programs of every matching order of
+// every plan into a prefix-sharing trie. Construction is
+// order-insensitive in everything the execution observes: whatever
+// order plans or matching orders are inserted, the same set of
+// (prefix, leaf) pairs exists, so per-plan match counts cannot depend
+// on batch order.
+func BuildShareTrie(pls []*Plan) *ShareTrie { return buildTrie(pls, true) }
+
+// BuildUnsharedTrie lays every matching order out as its own root-to-
+// leaf chain with no merging — execution then performs exactly the
+// per-plan work of a serial loop. This is the engine's sharing ablation
+// (Options.NoSharing) and the baseline the sharing telemetry is
+// measured against.
+func BuildUnsharedTrie(pls []*Plan) *ShareTrie { return buildTrie(pls, false) }
+
+func buildTrie(pls []*Plan, merge bool) *ShareTrie {
+	tr := &ShareTrie{}
+	rootByLabel := make(map[pattern.Label]*ShareNode)
+	childByKey := make(map[*ShareNode]map[string]*ShareNode)
+	planSeen := make(map[*ShareNode]map[int]bool)
+	for pi, pl := range pls {
+		for _, mo := range pl.Orders {
+			prog := ProgramOf(mo)
+			var root *ShareNode
+			if merge {
+				root = rootByLabel[prog.Start]
+			}
+			if root == nil {
+				root = &ShareNode{Step: ProgStep{Lo: -1, Hi: -1, Label: prog.Start}}
+				tr.Roots = append(tr.Roots, root)
+				if merge {
+					rootByLabel[prog.Start] = root
+				}
+			}
+			if planSeen[root] == nil {
+				planSeen[root] = make(map[int]bool)
+			}
+			if !planSeen[root][pi] {
+				planSeen[root][pi] = true
+				root.Plans = append(root.Plans, pi)
+			}
+			n := root
+			n.MOs++
+			for si := range prog.Steps {
+				st := &prog.Steps[si]
+				tr.ProgramSteps++
+				var child *ShareNode
+				if merge {
+					child = childByKey[n][st.key()]
+				}
+				if child == nil {
+					child = &ShareNode{Step: *st, Depth: n.Depth + 1}
+					n.Children = append(n.Children, child)
+					if merge {
+						if childByKey[n] == nil {
+							childByKey[n] = make(map[string]*ShareNode)
+						}
+						childByKey[n][st.key()] = child
+					}
+					tr.Nodes++
+				}
+				child.MOs++
+				n = child
+			}
+			n.Leaves = append(n.Leaves, ShareLeaf{Plan: pi, MO: mo})
+			if n.Depth+1 > tr.MaxCore {
+				tr.MaxCore = n.Depth + 1
+			}
+		}
+	}
+	return tr
+}

@@ -1,0 +1,179 @@
+package plan
+
+import (
+	"testing"
+
+	"peregrine/internal/pattern"
+)
+
+func planFor(t *testing.T, p *pattern.Pattern) *Plan {
+	t.Helper()
+	pl, err := New(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// ProgramOf must re-express a matching order in pure visit-index space:
+// the triangle's single core step intersects the start vertex's
+// adjacency list below the start vertex's id.
+func TestProgramOfTriangle(t *testing.T) {
+	pl := planFor(t, pattern.Clique(3))
+	if len(pl.Orders) != 1 {
+		t.Fatalf("triangle orders = %d, want 1", len(pl.Orders))
+	}
+	prog := ProgramOf(pl.Orders[0])
+	if prog.Start != pattern.Wildcard {
+		t.Errorf("start label = %v, want wildcard", prog.Start)
+	}
+	if len(prog.Steps) != 1 {
+		t.Fatalf("steps = %d, want 1", len(prog.Steps))
+	}
+	st := prog.Steps[0]
+	if len(st.Nbr) != 1 || st.Nbr[0] != 0 {
+		t.Errorf("Nbr = %v, want [0]", st.Nbr)
+	}
+	if st.Hi != 0 || st.Lo != -1 {
+		t.Errorf("bounds = (%d, %d), want (-1, 0)", st.Lo, st.Hi)
+	}
+}
+
+// A triangle and a 4-clique induce the same ordered view for their
+// first core step, so the merged trie must share that node; the chain
+// (unshared) trie must not.
+func TestShareTrieMergesCliquePrefix(t *testing.T) {
+	pls := []*Plan{planFor(t, pattern.Clique(3)), planFor(t, pattern.Clique(4))}
+	tr := BuildShareTrie(pls)
+	if tr.ProgramSteps != 3 { // 1 (triangle) + 2 (4-clique core = triangle)
+		t.Fatalf("program steps = %d, want 3", tr.ProgramSteps)
+	}
+	if tr.Nodes != 2 {
+		t.Errorf("merged nodes = %d, want 2 (first step shared)", tr.Nodes)
+	}
+	if len(tr.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1 (both wildcard-start)", len(tr.Roots))
+	}
+	root := tr.Roots[0]
+	if root.MOs != 2 || len(root.Plans) != 2 {
+		t.Errorf("root MOs = %d plans = %v, want 2 MOs from 2 plans", root.MOs, root.Plans)
+	}
+	if len(root.Children) != 1 || root.Children[0].MOs != 2 {
+		t.Fatalf("first step not shared: children = %d", len(root.Children))
+	}
+	shared := root.Children[0]
+	if len(shared.Leaves) != 1 || shared.Leaves[0].Plan != 0 {
+		t.Errorf("triangle leaf missing at shared node: %+v", shared.Leaves)
+	}
+	if len(shared.Children) != 1 || len(shared.Children[0].Leaves) != 1 || shared.Children[0].Leaves[0].Plan != 1 {
+		t.Errorf("4-clique leaf misplaced: %+v", shared.Children)
+	}
+
+	un := BuildUnsharedTrie(pls)
+	if un.Nodes != un.ProgramSteps {
+		t.Errorf("unshared trie merged: nodes = %d, steps = %d", un.Nodes, un.ProgramSteps)
+	}
+	if len(un.Roots) != 2 {
+		t.Errorf("unshared roots = %d, want one chain per matching order", len(un.Roots))
+	}
+}
+
+// Roots group by start label: differently-labeled starts must not merge,
+// identically-labeled ones must.
+func TestShareTrieLabeledRoots(t *testing.T) {
+	mk := func(text string) *Plan { return planFor(t, pattern.MustParse(text)) }
+	pls := []*Plan{
+		mk("0-1 1-2 2-0 [0:1] [1:1] [2:1]"), // labeled triangle, all label 1
+		mk("0-1 1-2 2-0 [0:2] [1:2] [2:2]"), // labeled triangle, all label 2
+		mk("0-1 1-2 2-0"),                   // unlabeled triangle
+	}
+	tr := BuildShareTrie(pls)
+	if len(tr.Roots) != 3 {
+		t.Fatalf("roots = %d, want 3 (label 1, label 2, wildcard)", len(tr.Roots))
+	}
+	for _, root := range tr.Roots {
+		if root.MOs != 1 {
+			t.Errorf("root label %v serves %d MOs, want 1", root.Step.Label, root.MOs)
+		}
+	}
+}
+
+// Trie construction must be order-insensitive: shuffling the plan batch
+// may relabel leaves (plan indices follow the batch) but cannot change
+// the merged structure or any plan's leaf population.
+func TestShareTrieOrderInsensitive(t *testing.T) {
+	base := []*Plan{
+		planFor(t, pattern.Clique(3)),
+		planFor(t, pattern.Clique(4)),
+		planFor(t, pattern.Chain(4)),
+		planFor(t, pattern.Cycle(4)),
+		planFor(t, pattern.Star(3)),
+	}
+	perm := []int{3, 0, 4, 2, 1}
+	shuffled := make([]*Plan, len(base))
+	for i, j := range perm {
+		shuffled[i] = base[j]
+	}
+	a, b := BuildShareTrie(base), BuildShareTrie(shuffled)
+	if a.Nodes != b.Nodes || a.ProgramSteps != b.ProgramSteps || a.MaxCore != b.MaxCore {
+		t.Fatalf("structure differs: %+v vs %+v", a, b)
+	}
+	leafCount := func(tr *ShareTrie, n int) map[int]int {
+		counts := make(map[int]int, n)
+		var walk func(nd *ShareNode)
+		walk = func(nd *ShareNode) {
+			for _, lf := range nd.Leaves {
+				counts[lf.Plan]++
+			}
+			for _, c := range nd.Children {
+				walk(c)
+			}
+		}
+		for _, r := range tr.Roots {
+			walk(r)
+		}
+		return counts
+	}
+	ca, cb := leafCount(a, len(base)), leafCount(b, len(base))
+	for i, j := range perm {
+		if ca[j] != cb[i] {
+			t.Errorf("plan %d: %d leaves in base order, %d shuffled", j, ca[j], cb[i])
+		}
+	}
+}
+
+// Every matching order must end at exactly one leaf, and MOs counts on
+// the path to it must include it — across a batch big enough to force
+// both merging and divergence (all 4-vertex motifs, vertex-induced).
+func TestShareTrieLeavesComplete(t *testing.T) {
+	var pls []*Plan
+	total := 0
+	for _, m := range pattern.GenerateAllVertexInduced(4) {
+		pl := planFor(t, pattern.VertexInduced(m))
+		pls = append(pls, pl)
+		total += len(pl.Orders)
+	}
+	tr := BuildShareTrie(pls)
+	leaves := 0
+	var walk func(nd *ShareNode) int
+	walk = func(nd *ShareNode) int {
+		below := len(nd.Leaves)
+		leaves += len(nd.Leaves)
+		for _, c := range nd.Children {
+			below += walk(c)
+		}
+		if below != nd.MOs {
+			t.Errorf("node depth %d: MOs = %d but subtree has %d leaves", nd.Depth, nd.MOs, below)
+		}
+		return below
+	}
+	for _, r := range tr.Roots {
+		walk(r)
+	}
+	if leaves != total {
+		t.Errorf("trie leaves = %d, want %d (one per matching order)", leaves, total)
+	}
+	if tr.Nodes >= tr.ProgramSteps {
+		t.Errorf("no sharing in 4-motif batch: nodes = %d, steps = %d", tr.Nodes, tr.ProgramSteps)
+	}
+}

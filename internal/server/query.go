@@ -89,13 +89,26 @@ type FrequentPattern struct {
 // multi-pattern queries it aggregates across patterns; tasks counts the
 // single shared traversal, not one per pattern.
 type RunStats struct {
-	Matches     uint64 `json:"matches"`
-	CoreMatches uint64 `json:"coreMatches"`
-	Tasks       uint64 `json:"tasks"`
-	Threads     int    `json:"threads"`
-	Stopped     bool   `json:"stopped"`
-	PlanMicros  int64  `json:"planMicros"`
-	MatchMicros int64  `json:"matchMicros"`
+	Matches     uint64        `json:"matches"`
+	CoreMatches uint64        `json:"coreMatches"`
+	Tasks       uint64        `json:"tasks"`
+	Threads     int           `json:"threads"`
+	Stopped     bool          `json:"stopped"`
+	PlanMicros  int64         `json:"planMicros"`
+	MatchMicros int64         `json:"matchMicros"`
+	Sharing     *SharingStats `json:"sharing,omitempty"`
+}
+
+// SharingStats is the JSON rendering of core.ShareStats: how much of a
+// batch's core exploration was merged into shared trie nodes, and how
+// many adjacency intersections the merge avoided. Present on pattern
+// queries (count, exists, matches); absent on fsm.
+type SharingStats struct {
+	TrieNodes          uint64 `json:"trieNodes"`
+	ProgramSteps       uint64 `json:"programSteps"`
+	SharedNodeVisits   uint64 `json:"sharedNodeVisits"`
+	Intersections      uint64 `json:"intersections"`
+	IntersectionsSaved uint64 `json:"intersectionsSaved"`
 }
 
 // multiStats aggregates batched execution stats; plan time is the cost
@@ -109,6 +122,13 @@ func (q *compiledQuery) multiStats(ms peregrine.MultiStats) *RunStats {
 		Stopped:     ms.Stopped,
 		PlanMicros:  q.planTime.Microseconds(),
 		MatchMicros: ms.MatchTime.Microseconds(),
+		Sharing: &SharingStats{
+			TrieNodes:          ms.Share.TrieNodes,
+			ProgramSteps:       ms.Share.ProgramSteps,
+			SharedNodeVisits:   ms.Share.SharedNodeVisits,
+			Intersections:      ms.Share.Intersections,
+			IntersectionsSaved: ms.Share.IntersectionsSaved,
+		},
 	}
 	for _, s := range ms.Per {
 		agg.CoreMatches += s.CoreMatches

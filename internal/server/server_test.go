@@ -405,6 +405,38 @@ func TestShutdownCancelsJobs(t *testing.T) {
 	}
 }
 
+// A batched query over patterns with a common ordered-view prefix (a
+// triangle and a 4-clique share their first core step) must surface the
+// cross-pattern sharing telemetry in the job's status JSON, and an fsm
+// job must not carry the field at all.
+func TestJobStatsReportSharing(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, info := postQuery(t, ts,
+		`{"graph":"dense","kind":"count","patterns":["0-1 1-2 2-0","0-1 0-2 0-3 1-2 1-3 2-3"],"wait":true}`)
+	if code != http.StatusOK || info.Status != StatusDone {
+		t.Fatalf("status = %d / %q (%s)", code, info.Status, info.Error)
+	}
+	st := info.Result.Stats
+	if st == nil || st.Sharing == nil {
+		t.Fatalf("stats = %+v, want sharing telemetry", st)
+	}
+	sh := st.Sharing
+	if sh.TrieNodes >= sh.ProgramSteps {
+		t.Errorf("trie did not merge the shared prefix: %d nodes / %d steps", sh.TrieNodes, sh.ProgramSteps)
+	}
+	if sh.Intersections == 0 || sh.SharedNodeVisits == 0 || sh.IntersectionsSaved == 0 {
+		t.Errorf("sharing counters empty: %+v", sh)
+	}
+
+	code, info = postQuery(t, ts, `{"graph":"labeled","kind":"fsm","maxEdges":1,"support":1,"wait":true}`)
+	if code != http.StatusOK || info.Status != StatusDone {
+		t.Fatalf("fsm status = %d / %q (%s)", code, info.Status, info.Error)
+	}
+	if info.Result.Stats == nil || info.Result.Stats.Sharing != nil {
+		t.Errorf("fsm stats = %+v, want no sharing field", info.Result.Stats)
+	}
+}
+
 // A count query with a pattern list reports per-pattern counts from a
 // single batched traversal.
 func TestBatchedCountPerPattern(t *testing.T) {

@@ -176,6 +176,12 @@ func WithoutSymmetryBreaking() Option {
 // converting it per Theorem 3.1 before planning.
 func VertexInduced() Option { return func(c *config) { c.vertexInduced = true } }
 
+// WithoutSharing disables cross-pattern traversal sharing in batched
+// executions: every matching order explores on its own, performing the
+// per-plan work of a serial loop. Counts are identical either way —
+// this is the ablation MultiStats.Share is measured against.
+func WithoutSharing() Option { return func(c *config) { c.opts.NoSharing = true } }
+
 // WithDeadline bounds the exploration's wall time: past the deadline the
 // engine stops as if Ctx.Stop had been called and Stats.Stopped reports
 // the truncation. Useful for existence queries whose negative answers
@@ -260,14 +266,22 @@ func Exists(g *Graph, p *Pattern, opts ...Option) (bool, error) {
 // single traversal of g (see PreparedQuery.CountEach); use Prepare
 // directly to reuse the compiled form across calls.
 func CountMany(g *Graph, ps []*Pattern, opts ...Option) ([]uint64, error) {
+	counts, _, err := CountManyWithStats(g, ps, opts...)
+	return counts, err
+}
+
+// CountManyWithStats is CountMany along with the batched execution
+// statistics, including the cross-pattern traversal sharing figures in
+// MultiStats.Share.
+func CountManyWithStats(g *Graph, ps []*Pattern, opts ...Option) ([]uint64, MultiStats, error) {
 	if len(ps) == 0 {
-		return nil, nil
+		return nil, MultiStats{}, nil
 	}
 	q, err := PrepareWith(opts, ps...)
 	if err != nil {
-		return nil, err
+		return nil, MultiStats{}, err
 	}
-	return q.CountEach(g, opts...)
+	return q.CountEachWithStats(g, opts...)
 }
 
 // Dataset identifies a built-in synthetic stand-in dataset (see

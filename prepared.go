@@ -33,8 +33,16 @@ func PlanCacheStats() (hits, misses uint64) { return defaultPlanCache.Stats() }
 // PlanCacheLen returns the number of distinct pattern shapes cached.
 func PlanCacheLen() int { return defaultPlanCache.Len() }
 
-// MultiStats summarizes one batched multi-pattern execution.
+// MultiStats summarizes one batched multi-pattern execution. Its Share
+// field reports cross-pattern traversal sharing: patterns whose
+// matching orders induce identical ordered-view prefixes are explored
+// through shared trie nodes, and Share quantifies the adjacency
+// intersections that merging avoided.
 type MultiStats = core.MultiStats
+
+// ShareStats quantifies cross-pattern traversal sharing in a batched
+// execution (see MultiStats.Share).
+type ShareStats = core.ShareStats
 
 // matchStreamBuffer decouples engine workers from a Matches consumer.
 // Workers block once it fills — backpressure, not buffering: memory
