@@ -1,0 +1,360 @@
+// Command peregrine-loadgen drives the peregrine-serve HTTP path with
+// concurrent clients issuing overlapping motif count queries, and
+// summarizes the serving-side performance — throughput, latency
+// percentiles, and how much work cross-request coalescing saved — as a
+// JSON report (BENCH_serving.json by default).
+//
+// Self-hosted (spins up an in-process server over a built-in dataset):
+//
+//	peregrine-loadgen -self patents-lite@1 -clients 8 -duration 2s
+//
+// Against a running server:
+//
+//	peregrine-loadgen -addr http://localhost:8080 -graph mico \
+//	    -clients 16 -duration 30s -motif 4 -mix 2
+//
+// Each client loops synchronous count queries (wait:true), drawing a
+// random subset of -mix patterns from the pool of all connected
+// -motif-vertex patterns — so concurrent clients overlap heavily, the
+// workload the coalescer exists for. The report combines client-side
+// latencies with the server's /v1/stats delta over the run; with
+// -assert-coalescing the run fails unless coalescing saved at least
+// one traversal (CI smoke).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"peregrine"
+	"peregrine/internal/gen"
+	"peregrine/internal/pattern"
+	"peregrine/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running peregrine-serve (empty: self-host -self)")
+	self := flag.String("self", "patents-lite@1", "self-host dataset[@scale] when -addr is empty")
+	graphName := flag.String("graph", "", "graph to query (default: the self-hosted graph)")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive load")
+	motif := flag.Int("motif", 4, "pattern pool: all connected patterns with this many vertices")
+	mix := flag.Int("mix", 2, "patterns per request, drawn randomly from the pool")
+	seed := flag.Int64("seed", 1, "pattern-mix random seed")
+	coalesceWindow := flag.Duration("coalesce-window", server.DefaultCoalesceWindow,
+		"self-hosted server's coalescing window (0 disables)")
+	coalesceMax := flag.Int("coalesce-max", server.DefaultCoalesceMaxRequests,
+		"self-hosted server's batch request cap")
+	out := flag.String("out", "BENCH_serving.json", "write the JSON summary here (empty: stdout only)")
+	assertCoalescing := flag.Bool("assert-coalescing", false,
+		"exit nonzero unless coalescing saved at least one traversal")
+	flag.Parse()
+
+	if *clients < 1 || *mix < 1 || *motif < 2 {
+		fatal(fmt.Errorf("need -clients >= 1, -mix >= 1, -motif >= 2"))
+	}
+
+	pool := patternPool(*motif)
+	if *mix > len(pool) {
+		*mix = len(pool)
+	}
+
+	base := *addr
+	graph := *graphName
+	var shutdown func()
+	if base == "" {
+		var err error
+		base, shutdown, err = selfHost(*self, server.CoalesceConfig{Window: *coalesceWindow, MaxRequests: *coalesceMax})
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		if graph == "" {
+			graph = "bench"
+		}
+	} else if graph == "" {
+		fatal(fmt.Errorf("-graph is required with -addr"))
+	}
+	base = strings.TrimRight(base, "/")
+
+	before, err := fetchStats(base)
+	if err != nil {
+		fatal(fmt.Errorf("GET /v1/stats: %w", err))
+	}
+
+	fmt.Fprintf(os.Stderr, "peregrine-loadgen: %d clients x %v against %s graph=%q, %d-motif pool of %d, %d per request\n",
+		*clients, *duration, base, graph, *motif, len(pool), *mix)
+
+	type clientResult struct {
+		lat  []time.Duration
+		errs int
+	}
+	results := make([]clientResult, *clients)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			cl := &http.Client{Timeout: 2 * time.Minute}
+			for time.Now().Before(deadline) {
+				body := queryBody(graph, subset(rng, pool, *mix))
+				t0 := time.Now()
+				ok := postWaitOK(cl, base+"/v1/query", body)
+				if ok {
+					results[id].lat = append(results[id].lat, time.Since(t0))
+				} else {
+					results[id].errs++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	after, err := fetchStats(base)
+	if err != nil {
+		fatal(fmt.Errorf("GET /v1/stats: %w", err))
+	}
+
+	var lats []time.Duration
+	errs := 0
+	for _, r := range results {
+		lats = append(lats, r.lat...)
+		errs += r.errs
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	summary := buildSummary(*clients, *duration, graph, *motif, len(pool), *mix,
+		*coalesceWindow, *coalesceMax, lats, errs, before, after)
+	enc, _ := json.MarshalIndent(summary, "", "  ")
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "peregrine-loadgen: wrote %s\n", *out)
+	}
+	if *assertCoalescing {
+		saved := after.CoalesceTraversalsSaved - before.CoalesceTraversalsSaved
+		if saved < 1 {
+			fatal(fmt.Errorf("assert-coalescing: coalescing saved %d traversals, want >= 1", saved))
+		}
+		fmt.Fprintf(os.Stderr, "peregrine-loadgen: coalescing saved %d traversals\n", saved)
+	}
+}
+
+// Summary is the BENCH_serving.json schema: one flat-ish record per
+// run so successive PRs can track the serving trajectory.
+type Summary struct {
+	Bench              string  `json:"bench"`
+	Timestamp          string  `json:"timestamp"`
+	Graph              string  `json:"graph"`
+	Clients            int     `json:"clients"`
+	DurationSec        float64 `json:"durationSec"`
+	MotifSize          int     `json:"motifSize"`
+	PatternPool        int     `json:"patternPool"`
+	PatternsPerRequest int     `json:"patternsPerRequest"`
+	CoalesceWindowMs   float64 `json:"coalesceWindowMs"`
+	CoalesceMax        int     `json:"coalesceMax"`
+
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ThroughputRPS float64 `json:"throughputRPS"`
+
+	LatencyMs struct {
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Max  float64 `json:"max"`
+		Mean float64 `json:"mean"`
+	} `json:"latencyMs"`
+
+	Coalescing struct {
+		Batches            uint64 `json:"batches"`
+		Requests           uint64 `json:"requests"`
+		CoalescedRequests  uint64 `json:"coalescedRequests"`
+		TraversalsSaved    uint64 `json:"traversalsSaved"`
+		Intersections      uint64 `json:"intersections"`
+		IntersectionsSaved uint64 `json:"intersectionsSaved"`
+	} `json:"coalescing"`
+
+	PlanCache struct {
+		Hits    uint64  `json:"hits"`
+		Misses  uint64  `json:"misses"`
+		HitRate float64 `json:"hitRate"`
+	} `json:"planCache"`
+}
+
+func buildSummary(clients int, dur time.Duration, graph string, motif, pool, mix int,
+	window time.Duration, cmax int, lats []time.Duration, errs int,
+	before, after server.ServerStats) Summary {
+	var s Summary
+	s.Bench = "serving-loadgen"
+	s.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	s.Graph = graph
+	s.Clients = clients
+	s.DurationSec = dur.Seconds()
+	s.MotifSize = motif
+	s.PatternPool = pool
+	s.PatternsPerRequest = mix
+	s.CoalesceWindowMs = float64(window) / float64(time.Millisecond)
+	s.CoalesceMax = cmax
+	s.Requests = len(lats)
+	s.Errors = errs
+	if dur > 0 {
+		s.ThroughputRPS = float64(len(lats)) / dur.Seconds()
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	if len(lats) > 0 {
+		s.LatencyMs.P50 = ms(percentile(lats, 0.50))
+		s.LatencyMs.P95 = ms(percentile(lats, 0.95))
+		s.LatencyMs.P99 = ms(percentile(lats, 0.99))
+		s.LatencyMs.Max = ms(lats[len(lats)-1])
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		s.LatencyMs.Mean = ms(sum / time.Duration(len(lats)))
+	}
+	s.Coalescing.Batches = after.CoalesceBatches - before.CoalesceBatches
+	s.Coalescing.Requests = after.CoalesceRequests - before.CoalesceRequests
+	s.Coalescing.CoalescedRequests = after.CoalesceCoalesced - before.CoalesceCoalesced
+	s.Coalescing.TraversalsSaved = after.CoalesceTraversalsSaved - before.CoalesceTraversalsSaved
+	s.Coalescing.Intersections = after.CoalesceIntersections - before.CoalesceIntersections
+	s.Coalescing.IntersectionsSaved = after.CoalesceIntersectionsSaved - before.CoalesceIntersectionsSaved
+	s.PlanCache.Hits = after.PlanCacheHits
+	s.PlanCache.Misses = after.PlanCacheMisses
+	s.PlanCache.HitRate = after.PlanCacheHitRate
+	return s
+}
+
+// percentile reads the q-quantile from sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// patternPool returns the texts of all connected patterns with size
+// vertices — the overlapping motif workload.
+func patternPool(size int) []string {
+	pats := pattern.GenerateAllVertexInduced(size)
+	out := make([]string, len(pats))
+	for i, p := range pats {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// subset draws k distinct patterns from pool.
+func subset(rng *rand.Rand, pool []string, k int) []string {
+	idx := rng.Perm(len(pool))[:k]
+	sort.Ints(idx) // stable request shape for a given chosen set
+	out := make([]string, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+func queryBody(graph string, patterns []string) []byte {
+	req := map[string]any{
+		"graph":    graph,
+		"kind":     "count",
+		"patterns": patterns,
+		"wait":     true,
+	}
+	b, _ := json.Marshal(req)
+	return b
+}
+
+// postWaitOK submits a synchronous count query and reports whether the
+// job finished done.
+func postWaitOK(cl *http.Client, url string, body []byte) bool {
+	resp, err := cl.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return false
+	}
+	return resp.StatusCode == http.StatusOK && info.Status == "done"
+}
+
+func fetchStats(base string) (server.ServerStats, error) {
+	var st server.ServerStats
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+var datasets = map[string]gen.Dataset{
+	string(gen.MicoLite):       gen.MicoLite,
+	string(gen.PatentsLite):    gen.PatentsLite,
+	string(gen.PatentsLabeled): gen.PatentsLabeled,
+	string(gen.OrkutLite):      gen.OrkutLite,
+	string(gen.FriendsterLite): gen.FriendsterLite,
+}
+
+// selfHost spins up an in-process peregrine-serve on a loopback port
+// with spec registered as graph "bench", returning its base URL.
+func selfHost(spec string, cfg server.CoalesceConfig) (string, func(), error) {
+	kind, scaleStr, hasScale := strings.Cut(spec, "@")
+	ds, ok := datasets[kind]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown dataset %q", kind)
+	}
+	scale := 1
+	if hasScale {
+		n, err := strconv.Atoi(scaleStr)
+		if err != nil || n < 1 {
+			return "", nil, fmt.Errorf("bad scale %q", scaleStr)
+		}
+		scale = n
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := server.NewRegistry()
+	reg.AddGraph("bench", "loadgen:"+spec, peregrine.StandardDataset(ds, scale))
+	srv := server.NewServer(ctx, reg)
+	srv.SetCoalescing(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	shutdown := func() {
+		cancel()
+		_ = hs.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "peregrine-loadgen:", err)
+	os.Exit(1)
+}

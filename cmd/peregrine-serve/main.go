@@ -30,6 +30,13 @@
 // resident size of loaded graphs: past the budget, idle graphs are
 // evicted least-recently-used first and lazily reload on their next
 // query; graphs pinned by running jobs are never evicted.
+//
+// Concurrent count queries on the same graph are coalesced: requests
+// arriving within -coalesce-window (or until -coalesce-max requests
+// queue) merge into one shared traversal with per-request results
+// demultiplexed back; GET /v1/stats reports batches formed, requests
+// coalesced, and traversals saved. Drive the serving path with
+// cmd/peregrine-loadgen to measure it.
 package main
 
 import (
@@ -76,6 +83,10 @@ func main() {
 		"cancel a streaming job whose stream is not consumed within this long (0 disables)")
 	maxGraphBytes := flag.String("max-graph-bytes", "0",
 		"memory budget for loaded graphs, e.g. 512M or 2G (0 = unlimited); idle graphs evict LRU-first past it")
+	coalesceWindow := flag.Duration("coalesce-window", server.DefaultCoalesceWindow,
+		"micro-batch window: concurrent count queries on the same graph arriving within it share one traversal (0 disables coalescing)")
+	coalesceMax := flag.Int("coalesce-max", server.DefaultCoalesceMaxRequests,
+		"flush a coalescing batch once it holds this many requests")
 	flag.Var(&graphFlags, "graph", "register a graph file (edge list or .pgr, auto-detected) as name=path (repeatable)")
 	flag.Var(&datasetFlags, "dataset", "register a built-in dataset as name=dataset[@scale] (repeatable)")
 	flag.Parse()
@@ -121,6 +132,7 @@ func main() {
 	srv := server.NewServer(ctx, reg)
 	srv.Jobs().SetTTL(*jobTTL)
 	srv.SetStreamAttachTimeout(*attachTimeout)
+	srv.SetCoalescing(server.CoalesceConfig{Window: *coalesceWindow, MaxRequests: *coalesceMax})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,343 @@
+package server
+
+// Cross-request query coalescing: a micro-batching admission layer.
+// PR 5's prefix-sharing trie merges the traversals of patterns that
+// arrive in ONE request; under real traffic, N independent clients
+// asking overlapping motif queries against the same graph still cost N
+// traversals. The coalescer turns the request stream into the pattern
+// sets the engine wants to see: concurrent count queries targeting the
+// same graph within a small window are admitted into one batch,
+// deduplicated through the plan cache, executed as a single merged
+// trie traversal (peregrine.CountEachMerged), and demultiplexed back
+// to each originating job with per-request queue/execution latency and
+// batch-level sharing attribution.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peregrine"
+	"peregrine/internal/graph"
+)
+
+// Coalescing defaults: the window is the latency tax an uncontended
+// query pays for the chance to share a traversal, so it stays small;
+// the size caps bound how much work one flush can accumulate.
+const (
+	DefaultCoalesceWindow      = 2 * time.Millisecond
+	DefaultCoalesceMaxRequests = 32
+	DefaultCoalesceMaxPatterns = 256
+)
+
+// CoalesceConfig tunes the micro-batching admission layer. A batch
+// flushes when Window has elapsed since its first member was admitted,
+// or as soon as it holds MaxRequests members or MaxPatterns patterns.
+type CoalesceConfig struct {
+	Window      time.Duration // <= 0 disables coalescing entirely
+	MaxRequests int           // flush at this many member requests (<= 0: default)
+	MaxPatterns int           // flush at this many queued patterns (<= 0: default)
+}
+
+func (c CoalesceConfig) withDefaults() CoalesceConfig {
+	if c.MaxRequests <= 0 {
+		c.MaxRequests = DefaultCoalesceMaxRequests
+	}
+	if c.MaxPatterns <= 0 {
+		c.MaxPatterns = DefaultCoalesceMaxPatterns
+	}
+	return c
+}
+
+// CoalescingStats is the per-job rendering of one coalesced execution,
+// surfaced as stats.coalescing in job status JSON. BatchRequests,
+// BatchPatterns, and UniquePlans describe the whole batch the request
+// rode in (as do the job's tasks and sharing figures — the traversal
+// was shared, so its cost is batch-level); QueueMicros is this
+// request's admission-to-execution wait and ExecMicros the merged
+// traversal's wall time.
+type CoalescingStats struct {
+	Batch         string `json:"batch"`
+	BatchRequests int    `json:"batchRequests"`
+	BatchPatterns int    `json:"batchPatterns"`
+	UniquePlans   int    `json:"uniquePlans"`
+	QueueMicros   int64  `json:"queueMicros"`
+	ExecMicros    int64  `json:"execMicros"`
+}
+
+// coalesceCounters are the coalescer's server-wide cumulative totals,
+// reported flat through GET /v1/stats.
+type coalesceCounters struct {
+	requests           atomic.Uint64 // requests admitted through the coalescer
+	batches            atomic.Uint64 // merged executions performed
+	coalesced          atomic.Uint64 // requests that shared their batch with another
+	detached           atomic.Uint64 // members cancelled before their batch delivered
+	patterns           atomic.Uint64 // patterns admitted across all executed batches
+	uniquePlans        atomic.Uint64 // plans left after isomorphism dedup
+	traversalsSaved    atomic.Uint64 // executed batches' members beyond the first
+	intersections      atomic.Uint64 // adjacency intersections performed by merged runs
+	intersectionsSaved atomic.Uint64 // intersections the merges avoided
+}
+
+// doResult carries one member's demuxed outcome.
+type doResult struct {
+	res *Result
+	err error
+}
+
+// cmember is one request riding a batch. res is buffered so the
+// executor's single send never blocks on a member that detached.
+type cmember struct {
+	q        *compiledQuery
+	enq      time.Time
+	res      chan doResult
+	detached bool // guarded by Coalescer.mu
+}
+
+// cbatch accumulates members for one graph until it flushes. All
+// fields are guarded by Coalescer.mu; execution happens outside the
+// lock on a snapshot of the live members.
+type cbatch struct {
+	id      string
+	graph   string
+	members []*cmember
+	npat    int
+	timer   *time.Timer
+	flushed bool
+	active  int // members not yet detached
+	// execCancel stops the merged run once every member has detached:
+	// nobody is waiting for the result, so mining on would be pure
+	// waste. Set at flush time; nil while the batch is still pending.
+	execCancel context.CancelFunc
+}
+
+// Coalescer groups concurrent count queries per graph into
+// micro-batches. Safe for concurrent use.
+type Coalescer struct {
+	base    context.Context
+	acquire func(name string) (*graph.Graph, func(), error)
+
+	mu      sync.Mutex
+	cfg     CoalesceConfig
+	pending map[string]*cbatch
+	seq     uint64
+
+	counters coalesceCounters
+}
+
+// NewCoalescer returns a coalescer whose merged executions descend
+// from base (server shutdown aborts them) and acquire graphs through
+// acquire (the registry's pin-for-the-run entry point).
+func NewCoalescer(base context.Context, cfg CoalesceConfig, acquire func(string) (*graph.Graph, func(), error)) *Coalescer {
+	if base == nil {
+		base = context.Background()
+	}
+	return &Coalescer{
+		base:    base,
+		acquire: acquire,
+		cfg:     cfg.withDefaults(),
+		pending: make(map[string]*cbatch),
+	}
+}
+
+// SetConfig replaces the coalescing thresholds. Batches already
+// pending flush under the thresholds they were admitted with.
+func (c *Coalescer) SetConfig(cfg CoalesceConfig) {
+	c.mu.Lock()
+	c.cfg = cfg.withDefaults()
+	c.mu.Unlock()
+}
+
+// Enabled reports whether admission currently batches at all.
+func (c *Coalescer) Enabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Window > 0
+}
+
+// Do admits q into the micro-batch forming for its graph (starting one
+// if none is) and blocks until the merged execution delivers this
+// request's demuxed result. Cancelling ctx detaches the request from
+// its batch — Do returns ctx.Err() immediately — without disturbing
+// co-batched requests: the batch still flushes and every other member
+// gets its result. Only when every member has detached is the batch
+// itself abandoned (pending) or its merged run cancelled (executing).
+func (c *Coalescer) Do(ctx context.Context, q *compiledQuery) (*Result, error) {
+	m := &cmember{q: q, enq: time.Now(), res: make(chan doResult, 1)}
+	c.mu.Lock()
+	cfg := c.cfg
+	b := c.pending[q.req.Graph]
+	if b == nil {
+		c.seq++
+		b = &cbatch{id: fmt.Sprintf("batch-%d", c.seq), graph: q.req.Graph}
+		c.pending[q.req.Graph] = b
+		b.timer = time.AfterFunc(cfg.Window, func() { c.flush(b) })
+	}
+	b.members = append(b.members, m)
+	b.active++
+	b.npat += len(q.texts)
+	c.counters.requests.Add(1)
+	full := len(b.members) >= cfg.MaxRequests || b.npat >= cfg.MaxPatterns
+	c.mu.Unlock()
+	if full {
+		c.flush(b)
+	}
+	select {
+	case r := <-m.res:
+		return r.res, r.err
+	case <-ctx.Done():
+		c.detach(b, m)
+		return nil, ctx.Err()
+	}
+}
+
+// flush closes b to new members and starts its merged execution with
+// the members still attached. Idempotent: the window timer and a
+// size-threshold admission may both call it.
+func (c *Coalescer) flush(b *cbatch) {
+	c.mu.Lock()
+	if b.flushed {
+		c.mu.Unlock()
+		return
+	}
+	b.flushed = true
+	if c.pending[b.graph] == b {
+		delete(c.pending, b.graph)
+	}
+	b.timer.Stop()
+	live := make([]*cmember, 0, len(b.members))
+	for _, m := range b.members {
+		if !m.detached {
+			live = append(live, m)
+		}
+	}
+	if len(live) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	execCtx, cancel := context.WithCancel(c.base)
+	b.execCancel = cancel
+	c.mu.Unlock()
+	go c.execute(execCtx, cancel, b, live)
+}
+
+// detach unhooks a cancelled member from its batch. The batch and its
+// other members are unaffected unless this was the last attached
+// member, in which case the pending batch is abandoned or the running
+// execution cancelled.
+func (c *Coalescer) detach(b *cbatch, m *cmember) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.detached {
+		return
+	}
+	m.detached = true
+	b.active--
+	c.counters.detached.Add(1)
+	if b.active > 0 {
+		return
+	}
+	if !b.flushed {
+		b.flushed = true
+		if c.pending[b.graph] == b {
+			delete(c.pending, b.graph)
+		}
+		b.timer.Stop()
+	} else if b.execCancel != nil {
+		b.execCancel()
+	}
+}
+
+// execute runs the batch's merged traversal and demultiplexes results
+// to the members that were still attached at flush time. A member that
+// detaches mid-run simply never reads its buffered result; the run is
+// only cancelled when all of them have.
+func (c *Coalescer) execute(ctx context.Context, cancel context.CancelFunc, b *cbatch, live []*cmember) {
+	defer cancel()
+	start := time.Now()
+	fail := func(err error) {
+		for _, m := range live {
+			m.res <- doResult{err: err}
+		}
+	}
+	g, release, err := c.acquire(b.graph)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer release()
+
+	queries := make([]*peregrine.PreparedQuery, len(live))
+	npat := 0
+	for i, m := range live {
+		queries[i] = m.q.prepared
+		npat += len(m.q.texts)
+	}
+	per, ms, err := peregrine.CountEachMerged(g, queries, peregrine.WithContext(ctx))
+	if err != nil {
+		fail(err)
+		return
+	}
+	exec := time.Since(start)
+
+	c.counters.batches.Add(1)
+	if len(live) > 1 {
+		c.counters.coalesced.Add(uint64(len(live)))
+	}
+	c.counters.patterns.Add(uint64(npat))
+	c.counters.uniquePlans.Add(uint64(len(ms.Per)))
+	c.counters.traversalsSaved.Add(uint64(len(live) - 1))
+	c.counters.intersections.Add(ms.Share.Intersections)
+	c.counters.intersectionsSaved.Add(ms.Share.IntersectionsSaved)
+
+	for i, m := range live {
+		cs := &CoalescingStats{
+			Batch:         b.id,
+			BatchRequests: len(live),
+			BatchPatterns: npat,
+			UniquePlans:   len(ms.Per),
+			QueueMicros:   start.Sub(m.enq).Microseconds(),
+			ExecMicros:    exec.Microseconds(),
+		}
+		res := m.q.coalescedResult(per[i], ms, cs)
+		// A cancelled merged run is a truncated result for every member:
+		// surface it like runCount does so jobs report cancelled, not
+		// done-with-wrong-counts.
+		var rerr error
+		if ms.Stopped && ctx.Err() != nil {
+			rerr = ctx.Err()
+		}
+		m.res <- doResult{res: res, err: rerr}
+	}
+}
+
+// CoalesceSnapshot is one flat read of the coalescer's cumulative
+// counters (see ServerStats for the field meanings).
+type CoalesceSnapshot struct {
+	Requests           uint64
+	Batches            uint64
+	Coalesced          uint64
+	Detached           uint64
+	Patterns           uint64
+	UniquePlans        uint64
+	TraversalsSaved    uint64
+	Intersections      uint64
+	IntersectionsSaved uint64
+}
+
+// Snapshot reads the cumulative counters.
+func (c *Coalescer) Snapshot() CoalesceSnapshot {
+	return CoalesceSnapshot{
+		Requests:           c.counters.requests.Load(),
+		Batches:            c.counters.batches.Load(),
+		Coalesced:          c.counters.coalesced.Load(),
+		Detached:           c.counters.detached.Load(),
+		Patterns:           c.counters.patterns.Load(),
+		UniquePlans:        c.counters.uniquePlans.Load(),
+		TraversalsSaved:    c.counters.traversalsSaved.Load(),
+		Intersections:      c.counters.intersections.Load(),
+		IntersectionsSaved: c.counters.intersectionsSaved.Load(),
+	}
+}

@@ -22,7 +22,13 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/jobs/{id}/stream consume a streaming matches job as NDJSON
 //	DELETE /v1/jobs/{id}        cancel a job, stopping its engine workers
 //	GET    /v1/graphs           list registered graphs
+//	GET    /v1/stats            server-wide counters (coalescing, plan cache, registry)
 //	GET    /healthz             liveness probe
+//
+// Concurrent count queries against the same graph are coalesced: an
+// admission layer merges requests arriving within a micro-batch window
+// into one shared trie traversal and demultiplexes per-request results
+// (see coalesce.go).
 type Server struct {
 	registry *Registry
 	jobs     *Manager
@@ -31,6 +37,11 @@ type Server struct {
 	// process (tests, multi-tenant embedders) don't share eviction
 	// pressure or stats through the package-global default cache.
 	plans *peregrine.PlanCache
+
+	// coalescer micro-batches concurrent count queries per graph into
+	// merged traversals (see coalesce.go). Always non-nil; a zero
+	// window makes admission pass straight through.
+	coalescer *Coalescer
 
 	// streamAttachTimeout (nanoseconds) cancels a streaming job whose
 	// NDJSON stream was never consumed: its workers park on the full
@@ -48,9 +59,17 @@ const DefaultStreamAttachTimeout = time.Minute
 // cancelling base aborts every running query (graceful shutdown).
 func NewServer(base context.Context, reg *Registry) *Server {
 	s := &Server{registry: reg, jobs: NewManager(base), plans: peregrine.NewPlanCache(0)}
+	s.coalescer = NewCoalescer(base, CoalesceConfig{Window: DefaultCoalesceWindow}, reg.Acquire)
 	s.streamAttachTimeout.Store(int64(DefaultStreamAttachTimeout))
 	return s
 }
+
+// SetCoalescing reconfigures the micro-batching admission layer
+// (-coalesce-window / -coalesce-max); a zero window disables it.
+func (s *Server) SetCoalescing(cfg CoalesceConfig) { s.coalescer.SetConfig(cfg) }
+
+// Coalescer exposes the admission layer (stats, tests).
+func (s *Server) Coalescer() *Coalescer { return s.coalescer }
 
 // PlanCache exposes the server's plan cache (stats, tests).
 func (s *Server) PlanCache() *peregrine.PlanCache { return s.plans }
@@ -74,6 +93,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -124,16 +144,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// acquisition pins the graph for the job's whole run — the memory
 	// budget can never evict (and unmap) a graph under an in-flight
 	// query.
-	run := func(ctx context.Context) (*Result, error) {
-		g, release, err := s.registry.Acquire(req.Graph)
-		if err != nil {
-			if q.stream != nil {
-				close(q.stream.ch) // unblock a waiting stream consumer
-			}
-			return nil, err
+	//
+	// Count queries without an explicit thread bound go through the
+	// coalescing admission layer instead: the coalescer acquires the
+	// graph once per merged batch, and the job's context cancellation
+	// detaches just this request from its batch (co-batched requests
+	// are unaffected). A per-request Threads bound can't be honored by
+	// a shared traversal, so such requests keep the direct path.
+	var run func(ctx context.Context) (*Result, error)
+	if req.Kind == KindCount && req.Threads == 0 && s.coalescer.Enabled() {
+		run = func(ctx context.Context) (*Result, error) {
+			return s.coalescer.Do(ctx, q)
 		}
-		defer release()
-		return q.run(ctx, g)
+	} else {
+		run = func(ctx context.Context) (*Result, error) {
+			g, release, err := s.registry.Acquire(req.Graph)
+			if err != nil {
+				if q.stream != nil {
+					close(q.stream.ch) // unblock a waiting stream consumer
+				}
+				return nil, err
+			}
+			defer release()
+			return q.run(ctx, g)
+		}
 	}
 	var job *Job
 	if q.stream != nil {
@@ -302,4 +336,8 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.registry.List())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }

@@ -97,6 +97,12 @@ type RunStats struct {
 	PlanMicros  int64         `json:"planMicros"`
 	MatchMicros int64         `json:"matchMicros"`
 	Sharing     *SharingStats `json:"sharing,omitempty"`
+	// Coalescing is present when the job rode a cross-request
+	// micro-batch: the whole batch's shape plus this request's own
+	// queue/execution latency split. On a coalesced job the traversal
+	// figures above (tasks, matchMicros, sharing) describe the merged
+	// batch execution, not this request alone.
+	Coalescing *CoalescingStats `json:"coalescing,omitempty"`
 }
 
 // SharingStats is the JSON rendering of core.ShareStats: how much of a
@@ -134,6 +140,41 @@ func (q *compiledQuery) multiStats(ms peregrine.MultiStats) *RunStats {
 		agg.CoreMatches += s.CoreMatches
 	}
 	return agg
+}
+
+// coalescedResult assembles this request's demuxed slice of a merged
+// batch execution: per holds the Stats row serving each of the
+// request's patterns (see peregrine.CountEachMerged), ms the batch's
+// shared-traversal figures, and cs the coalescing attribution.
+func (q *compiledQuery) coalescedResult(per []peregrine.Stats, ms peregrine.MultiStats, cs *CoalescingStats) *Result {
+	st := &RunStats{
+		Tasks:       ms.Tasks,
+		Threads:     ms.Threads,
+		Stopped:     ms.Stopped,
+		PlanMicros:  q.planTime.Microseconds(),
+		MatchMicros: ms.MatchTime.Microseconds(),
+		Sharing: &SharingStats{
+			TrieNodes:          ms.Share.TrieNodes,
+			ProgramSteps:       ms.Share.ProgramSteps,
+			SharedNodeVisits:   ms.Share.SharedNodeVisits,
+			Intersections:      ms.Share.Intersections,
+			IntersectionsSaved: ms.Share.IntersectionsSaved,
+		},
+		Coalescing: cs,
+	}
+	res := &Result{Stats: st}
+	for _, s := range per {
+		res.Count += s.Matches
+		st.Matches += s.Matches
+		st.CoreMatches += s.CoreMatches
+	}
+	if len(q.req.Patterns) > 0 {
+		res.PerPattern = make([]PatternCount, len(q.texts))
+		for i, text := range q.texts {
+			res.PerPattern[i] = PatternCount{Pattern: text, Count: per[i].Matches}
+		}
+	}
+	return res
 }
 
 // compiledQuery is a validated request: patterns parsed (and converted

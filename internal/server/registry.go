@@ -314,6 +314,24 @@ func (r *Registry) ResidentBytes() uint64 {
 	return r.resident
 }
 
+// Counters snapshots the registry's gauges for GET /v1/stats:
+// registered names, graphs currently resident, graphs pinned by
+// in-flight queries, and total resident bytes.
+func (r *Registry) Counters() (registered, loaded, pinned int, resident uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		registered++
+		if e.g != nil {
+			loaded++
+		}
+		if e.pins > 0 {
+			pinned++
+		}
+	}
+	return registered, loaded, pinned, r.resident
+}
+
 // LoadCount returns how many times name's source has been loaded —
 // observability for eviction/reload behavior (and its tests).
 func (r *Registry) LoadCount(name string) uint64 {

@@ -1,0 +1,65 @@
+package server
+
+// GET /v1/stats: server-wide cumulative counters in one flat struct —
+// no nesting, so the JSON maps 1:1 onto a CSV row or a scrape target.
+// Everything here is monotonic over the server's lifetime except the
+// registry gauges (graphsLoaded, graphsPinned, registryResidentBytes),
+// which are point-in-time.
+
+// ServerStats is the body of GET /v1/stats.
+type ServerStats struct {
+	// Coalescer totals. CoalesceRequests counts count-query admissions
+	// into the micro-batching layer; CoalesceBatches counts merged
+	// traversals executed, so requests minus batches is traversal work
+	// the server never did. CoalesceCoalesced counts the requests that
+	// actually shared their batch with at least one other;
+	// CoalesceDetached counts members cancelled out of a batch before
+	// delivery (their co-members were unaffected).
+	CoalesceBatches            uint64 `json:"coalesceBatches"`
+	CoalesceRequests           uint64 `json:"coalesceRequests"`
+	CoalesceCoalesced          uint64 `json:"coalesceCoalesced"`
+	CoalesceDetached           uint64 `json:"coalesceDetached"`
+	CoalescePatterns           uint64 `json:"coalescePatterns"`
+	CoalesceUniquePlans        uint64 `json:"coalesceUniquePlans"`
+	CoalesceTraversalsSaved    uint64 `json:"coalesceTraversalsSaved"`
+	CoalesceIntersections      uint64 `json:"coalesceIntersections"`
+	CoalesceIntersectionsSaved uint64 `json:"coalesceIntersectionsSaved"`
+
+	// Plan-cache totals for this server's own cache handle.
+	PlanCacheHits    uint64  `json:"planCacheHits"`
+	PlanCacheMisses  uint64  `json:"planCacheMisses"`
+	PlanCacheHitRate float64 `json:"planCacheHitRate"`
+	PlanCacheEntries int     `json:"planCacheEntries"`
+
+	// Registry gauges.
+	GraphsRegistered      int    `json:"graphsRegistered"`
+	GraphsLoaded          int    `json:"graphsLoaded"`
+	GraphsPinned          int    `json:"graphsPinned"`
+	RegistryResidentBytes uint64 `json:"registryResidentBytes"`
+}
+
+// Stats assembles the server-wide counter snapshot.
+func (s *Server) Stats() ServerStats {
+	var st ServerStats
+	cs := s.coalescer.Snapshot()
+	st.CoalesceBatches = cs.Batches
+	st.CoalesceRequests = cs.Requests
+	st.CoalesceCoalesced = cs.Coalesced
+	st.CoalesceDetached = cs.Detached
+	st.CoalescePatterns = cs.Patterns
+	st.CoalesceUniquePlans = cs.UniquePlans
+	st.CoalesceTraversalsSaved = cs.TraversalsSaved
+	st.CoalesceIntersections = cs.Intersections
+	st.CoalesceIntersectionsSaved = cs.IntersectionsSaved
+
+	hits, misses := s.plans.Stats()
+	st.PlanCacheHits = hits
+	st.PlanCacheMisses = misses
+	if total := hits + misses; total > 0 {
+		st.PlanCacheHitRate = float64(hits) / float64(total)
+	}
+	st.PlanCacheEntries = s.plans.Len()
+
+	st.GraphsRegistered, st.GraphsLoaded, st.GraphsPinned, st.RegistryResidentBytes = s.registry.Counters()
+	return st
+}

@@ -1,0 +1,70 @@
+package peregrine
+
+// Cross-query merged execution: the engine-side half of request
+// coalescing. Several independently prepared queries — typically one
+// per concurrent client — are executed as ONE batched traversal:
+// their cached plans are deduplicated by identity (isomorphic patterns
+// resolve to the same *plan.Plan through the plan cache, whatever
+// vertex numbering each client used), the surviving unique plans run
+// through core.RunPlans' prefix-sharing trie, and per-plan results are
+// demultiplexed back to each query's own pattern order.
+
+import (
+	"peregrine/internal/core"
+	"peregrine/internal/plan"
+)
+
+// CountEachMerged executes every query of queries in a single batched
+// traversal of g and returns, for each query, the per-pattern Stats
+// rows in that query's own pattern order (counts[i][j] describes
+// queries[i]'s j-th pattern). Patterns that are isomorphic across
+// queries — or within one — are matched once: their plans are
+// deduplicated through the plan cache identity before execution, so N
+// queries asking overlapping pattern sets cost one traversal of the
+// deduplicated union rather than N traversals.
+//
+// The returned MultiStats describes the merged execution: Per holds
+// one row per unique plan (len(ms.Per) is the deduplicated plan
+// count), and Tasks/Share/MatchTime cover the single shared traversal.
+// Queries prepared under different plan-affecting options mix freely;
+// each resolves to the plans its own preparation implies, and only
+// genuinely identical plans merge.
+func CountEachMerged(g *Graph, queries []*PreparedQuery, opts ...Option) ([][]Stats, MultiStats, error) {
+	if len(queries) == 0 {
+		return nil, MultiStats{}, nil
+	}
+	// Dedup plans by identity across all queries; slot[i][j] is the
+	// unique-plan index serving queries[i]'s j-th pattern.
+	idx := make(map[*plan.Plan]int)
+	var plans []*plan.Plan
+	slot := make([][]int, len(queries))
+	for qi, q := range queries {
+		c := q.buildConfig(opts)
+		pps, err := q.resolve(c)
+		if err != nil {
+			return nil, MultiStats{}, err
+		}
+		slot[qi] = make([]int, len(pps))
+		for pi := range pps {
+			p := pps[pi].plan
+			j, ok := idx[p]
+			if !ok {
+				j = len(plans)
+				idx[p] = j
+				plans = append(plans, p)
+			}
+			slot[qi][pi] = j
+		}
+	}
+	ms := core.RunPlans(g, plans, nil, buildConfig(opts).opts)
+	per := make([][]Stats, len(queries))
+	for qi := range queries {
+		per[qi] = make([]Stats, len(slot[qi]))
+		for pi, j := range slot[qi] {
+			// A copy per requesting pattern: queries sharing a plan each
+			// get the full row (their pattern's matches ARE that plan's).
+			per[qi][pi] = ms.Per[j]
+		}
+	}
+	return per, ms, nil
+}

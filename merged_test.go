@@ -1,0 +1,108 @@
+package peregrine
+
+import (
+	"testing"
+
+	"peregrine/internal/gen"
+)
+
+// mergedQueries is an overlapping mix: the triangle appears in three
+// queries (once renumbered), the wedge in two (once renumbered as a
+// star), so the merged union is smaller than the sum of the parts.
+func mergedQueries(t *testing.T) []*PreparedQuery {
+	t.Helper()
+	sets := [][]string{
+		{"0-1 1-2 2-0", "0-1 1-2"},
+		{"1-0 2-0", "0-1 0-2 0-3 1-2 1-3 2-3"}, // wedge, renumbered
+		{"2-0 0-1 1-2"},                        // triangle, renumbered
+		{"0-1 1-2 2-0", "0-1"},
+	}
+	queries := make([]*PreparedQuery, len(sets))
+	for i, texts := range sets {
+		pats := make([]*Pattern, len(texts))
+		for j, s := range texts {
+			pats[j] = MustParsePattern(s)
+		}
+		q, err := Prepare(pats...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = q
+	}
+	return queries
+}
+
+// Differential: merged cross-query execution returns exactly what each
+// query returns when run alone, for every query in the batch, on every
+// differential graph.
+func TestCountEachMergedMatchesSeparateRuns(t *testing.T) {
+	queries := mergedQueries(t)
+	for _, tc := range differentialGraphs() {
+		t.Run(tc.name, func(t *testing.T) {
+			per, _, err := CountEachMerged(tc.g, queries, WithThreads(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				solo, err := q.CountEach(tc.g, WithThreads(4))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(per[qi]) != len(solo) {
+					t.Fatalf("query %d: %d rows, want %d", qi, len(per[qi]), len(solo))
+				}
+				for pi := range solo {
+					if per[qi][pi].Matches != solo[pi] {
+						t.Errorf("query %d pattern %d: merged = %d, solo = %d",
+							qi, pi, per[qi][pi].Matches, solo[pi])
+					}
+				}
+			}
+		})
+	}
+}
+
+// The merged batch dedups isomorphic patterns across queries through
+// the plan cache and traverses the task space exactly once.
+func TestCountEachMergedDedupsAcrossQueries(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 64, Edges: 140, Seed: 12})
+	queries := mergedQueries(t)
+	total := 0
+	for _, q := range queries {
+		total += len(q.Patterns())
+	}
+	per, ms, err := CountEachMerged(g, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 requested patterns, 4 distinct up to isomorphism: triangle,
+	// wedge, 4-clique, edge.
+	if total != 7 {
+		t.Fatalf("mix changed: %d patterns requested", total)
+	}
+	if len(ms.Per) != 4 {
+		t.Errorf("unique plans = %d, want 4 (isomorphic duplicates deduped)", len(ms.Per))
+	}
+	if ms.Tasks != uint64(g.NumVertices()) {
+		t.Errorf("merged tasks = %d, want %d (one traversal)", ms.Tasks, g.NumVertices())
+	}
+	// Deduped queries see the shared plan's full row: the triangle rows
+	// handed to queries 0, 2, and 3 are the same counts.
+	if a, b, c := per[0][0].Matches, per[2][0].Matches, per[3][0].Matches; a != b || b != c {
+		t.Errorf("triangle rows diverged across queries: %d, %d, %d", a, b, c)
+	}
+	if per[0][1].Matches != per[1][0].Matches {
+		t.Errorf("wedge rows diverged: %d vs %d", per[0][1].Matches, per[1][0].Matches)
+	}
+}
+
+func TestCountEachMergedEmpty(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 8, Edges: 12, Seed: 1})
+	per, ms, err := CountEachMerged(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per != nil || ms.Tasks != 0 {
+		t.Errorf("empty batch returned %v, %+v", per, ms)
+	}
+}
