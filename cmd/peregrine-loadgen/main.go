@@ -11,15 +11,20 @@
 // Against a running server:
 //
 //	peregrine-loadgen -addr http://localhost:8080 -graph mico \
-//	    -clients 16 -duration 30s -motif 4 -mix 2
+//	    -clients 16 -duration 30s -motif 4,5 -mix 2
 //
 // Each client loops synchronous count queries (wait:true), drawing a
 // random subset of -mix patterns from the pool of all connected
-// -motif-vertex patterns — so concurrent clients overlap heavily, the
-// workload the coalescer exists for. The report combines client-side
-// latencies with the server's /v1/stats delta over the run; with
-// -assert-coalescing the run fails unless coalescing saved at least
-// one traversal (CI smoke).
+// patterns of the -motif sizes — so concurrent clients overlap
+// heavily, the workload the coalescer exists for. Queries are
+// vertex-induced by default (-vertex-induced=false for edge-induced),
+// which with 5-vertex patterns in the pool makes the batches
+// morphing-eligible: the serving numbers exercise the full
+// morph-then-share path. The report combines client-side latencies
+// with the server's /v1/stats delta over the run; -assert-coalescing
+// fails the run unless coalescing saved at least one traversal, and
+// -assert-morphing unless morphing replaced at least one pattern (CI
+// smoke).
 package main
 
 import (
@@ -50,8 +55,9 @@ func main() {
 	graphName := flag.String("graph", "", "graph to query (default: the self-hosted graph)")
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
 	duration := flag.Duration("duration", 5*time.Second, "how long to drive load")
-	motif := flag.Int("motif", 4, "pattern pool: all connected patterns with this many vertices")
+	motif := flag.String("motif", "4,5", "pattern pool: all connected patterns of these sizes (comma-separated)")
 	mix := flag.Int("mix", 2, "patterns per request, drawn randomly from the pool")
+	vertexInduced := flag.Bool("vertex-induced", true, "count vertex-induced occurrences (the morphing-eligible shape)")
 	seed := flag.Int64("seed", 1, "pattern-mix random seed")
 	coalesceWindow := flag.Duration("coalesce-window", server.DefaultCoalesceWindow,
 		"self-hosted server's coalescing window (0 disables)")
@@ -60,13 +66,19 @@ func main() {
 	out := flag.String("out", "BENCH_serving.json", "write the JSON summary here (empty: stdout only)")
 	assertCoalescing := flag.Bool("assert-coalescing", false,
 		"exit nonzero unless coalescing saved at least one traversal")
+	assertMorphing := flag.Bool("assert-morphing", false,
+		"exit nonzero unless morphing replaced at least one pattern")
 	flag.Parse()
 
-	if *clients < 1 || *mix < 1 || *motif < 2 {
-		fatal(fmt.Errorf("need -clients >= 1, -mix >= 1, -motif >= 2"))
+	sizes, err := motifSizes(*motif)
+	if err != nil {
+		fatal(err)
+	}
+	if *clients < 1 || *mix < 1 {
+		fatal(fmt.Errorf("need -clients >= 1, -mix >= 1"))
 	}
 
-	pool := patternPool(*motif)
+	pool := patternPool(sizes)
 	if *mix > len(pool) {
 		*mix = len(pool)
 	}
@@ -94,8 +106,8 @@ func main() {
 		fatal(fmt.Errorf("GET /v1/stats: %w", err))
 	}
 
-	fmt.Fprintf(os.Stderr, "peregrine-loadgen: %d clients x %v against %s graph=%q, %d-motif pool of %d, %d per request\n",
-		*clients, *duration, base, graph, *motif, len(pool), *mix)
+	fmt.Fprintf(os.Stderr, "peregrine-loadgen: %d clients x %v against %s graph=%q, %s-motif pool of %d (vertexInduced=%v), %d per request\n",
+		*clients, *duration, base, graph, *motif, len(pool), *vertexInduced, *mix)
 
 	type clientResult struct {
 		lat  []time.Duration
@@ -111,7 +123,7 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(id)))
 			cl := &http.Client{Timeout: 2 * time.Minute}
 			for time.Now().Before(deadline) {
-				body := queryBody(graph, subset(rng, pool, *mix))
+				body := queryBody(graph, subset(rng, pool, *mix), *vertexInduced)
 				t0 := time.Now()
 				ok := postWaitOK(cl, base+"/v1/query", body)
 				if ok {
@@ -137,7 +149,7 @@ func main() {
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 
-	summary := buildSummary(*clients, *duration, graph, *motif, len(pool), *mix,
+	summary := buildSummary(*clients, *duration, graph, sizes, len(pool), *mix, *vertexInduced,
 		*coalesceWindow, *coalesceMax, lats, errs, before, after)
 	enc, _ := json.MarshalIndent(summary, "", "  ")
 	enc = append(enc, '\n')
@@ -155,6 +167,27 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "peregrine-loadgen: coalescing saved %d traversals\n", saved)
 	}
+	if *assertMorphing {
+		replaced := after.MorphPatternsReplaced - before.MorphPatternsReplaced
+		if replaced < 1 {
+			fatal(fmt.Errorf("assert-morphing: morphing replaced %d patterns, want >= 1", replaced))
+		}
+		fmt.Fprintf(os.Stderr, "peregrine-loadgen: morphing replaced %d patterns across %d runs\n",
+			replaced, after.MorphRuns-before.MorphRuns)
+	}
+}
+
+// motifSizes parses the -motif flag: comma-separated pattern sizes.
+func motifSizes(spec string) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -motif %q: want comma-separated sizes >= 2", spec)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // Summary is the BENCH_serving.json schema: one flat-ish record per
@@ -165,9 +198,10 @@ type Summary struct {
 	Graph              string  `json:"graph"`
 	Clients            int     `json:"clients"`
 	DurationSec        float64 `json:"durationSec"`
-	MotifSize          int     `json:"motifSize"`
+	MotifSizes         []int   `json:"motifSizes"`
 	PatternPool        int     `json:"patternPool"`
 	PatternsPerRequest int     `json:"patternsPerRequest"`
+	VertexInduced      bool    `json:"vertexInduced"`
 	CoalesceWindowMs   float64 `json:"coalesceWindowMs"`
 	CoalesceMax        int     `json:"coalesceMax"`
 
@@ -192,6 +226,20 @@ type Summary struct {
 		IntersectionsSaved uint64 `json:"intersectionsSaved"`
 	} `json:"coalescing"`
 
+	// Morphing deltas over the run: how often the server's count path
+	// rewrote a batch, what it replaced, and the trie program steps the
+	// executed sets carried versus what the batches asked for.
+	Morphing struct {
+		Runs             uint64 `json:"runs"`
+		Candidates       uint64 `json:"candidates"`
+		MorphsChosen     uint64 `json:"morphsChosen"`
+		PatternsReplaced uint64 `json:"patternsReplaced"`
+		RecoveryTerms    uint64 `json:"recoveryTerms"`
+		StepsDirect      uint64 `json:"stepsDirect"`
+		StepsMorphed     uint64 `json:"stepsMorphed"`
+		StepsSaved       uint64 `json:"stepsSaved"`
+	} `json:"morphing"`
+
 	PlanCache struct {
 		Hits    uint64  `json:"hits"`
 		Misses  uint64  `json:"misses"`
@@ -199,8 +247,8 @@ type Summary struct {
 	} `json:"planCache"`
 }
 
-func buildSummary(clients int, dur time.Duration, graph string, motif, pool, mix int,
-	window time.Duration, cmax int, lats []time.Duration, errs int,
+func buildSummary(clients int, dur time.Duration, graph string, sizes []int, pool, mix int,
+	vertexInduced bool, window time.Duration, cmax int, lats []time.Duration, errs int,
 	before, after server.ServerStats) Summary {
 	var s Summary
 	s.Bench = "serving-loadgen"
@@ -208,9 +256,10 @@ func buildSummary(clients int, dur time.Duration, graph string, motif, pool, mix
 	s.Graph = graph
 	s.Clients = clients
 	s.DurationSec = dur.Seconds()
-	s.MotifSize = motif
+	s.MotifSizes = sizes
 	s.PatternPool = pool
 	s.PatternsPerRequest = mix
+	s.VertexInduced = vertexInduced
 	s.CoalesceWindowMs = float64(window) / float64(time.Millisecond)
 	s.CoalesceMax = cmax
 	s.Requests = len(lats)
@@ -236,6 +285,14 @@ func buildSummary(clients int, dur time.Duration, graph string, motif, pool, mix
 	s.Coalescing.TraversalsSaved = after.CoalesceTraversalsSaved - before.CoalesceTraversalsSaved
 	s.Coalescing.Intersections = after.CoalesceIntersections - before.CoalesceIntersections
 	s.Coalescing.IntersectionsSaved = after.CoalesceIntersectionsSaved - before.CoalesceIntersectionsSaved
+	s.Morphing.Runs = after.MorphRuns - before.MorphRuns
+	s.Morphing.Candidates = after.MorphCandidates - before.MorphCandidates
+	s.Morphing.MorphsChosen = after.MorphsChosen - before.MorphsChosen
+	s.Morphing.PatternsReplaced = after.MorphPatternsReplaced - before.MorphPatternsReplaced
+	s.Morphing.RecoveryTerms = after.MorphRecoveryTerms - before.MorphRecoveryTerms
+	s.Morphing.StepsDirect = after.MorphStepsDirect - before.MorphStepsDirect
+	s.Morphing.StepsMorphed = after.MorphStepsMorphed - before.MorphStepsMorphed
+	s.Morphing.StepsSaved = s.Morphing.StepsDirect - s.Morphing.StepsMorphed
 	s.PlanCache.Hits = after.PlanCacheHits
 	s.PlanCache.Misses = after.PlanCacheMisses
 	s.PlanCache.HitRate = after.PlanCacheHitRate
@@ -248,13 +305,14 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-// patternPool returns the texts of all connected patterns with size
-// vertices — the overlapping motif workload.
-func patternPool(size int) []string {
-	pats := pattern.GenerateAllVertexInduced(size)
-	out := make([]string, len(pats))
-	for i, p := range pats {
-		out[i] = p.String()
+// patternPool returns the texts of all connected patterns of the given
+// sizes — the overlapping motif workload.
+func patternPool(sizes []int) []string {
+	var out []string
+	for _, size := range sizes {
+		for _, p := range pattern.GenerateAllVertexInduced(size) {
+			out = append(out, p.String())
+		}
 	}
 	return out
 }
@@ -270,12 +328,15 @@ func subset(rng *rand.Rand, pool []string, k int) []string {
 	return out
 }
 
-func queryBody(graph string, patterns []string) []byte {
+func queryBody(graph string, patterns []string, vertexInduced bool) []byte {
 	req := map[string]any{
 		"graph":    graph,
 		"kind":     "count",
 		"patterns": patterns,
 		"wait":     true,
+	}
+	if vertexInduced {
+		req["vertexInduced"] = true
 	}
 	b, _ := json.Marshal(req)
 	return b

@@ -115,13 +115,21 @@ type Options struct {
 // (its start-label gate passed), so a label-constrained plan in a batch
 // reports only its own share of the scan.
 type Stats struct {
-	Matches     uint64        // complete matches found (callback invocations, or counted matches)
-	CoreMatches uint64        // matches of the pattern core
-	Tasks       uint64        // start vertices this plan was attempted on
-	Stopped     bool          // true if exploration terminated early
-	PlanTime    time.Duration // exploration-plan generation time
-	MatchTime   time.Duration // wall time of the parallel exploration
-	Threads     int
+	Matches     uint64 // complete matches found (callback invocations, or counted matches)
+	CoreMatches uint64 // matches of the pattern core
+	Tasks       uint64 // start vertices this plan was attempted on
+	// Intersections counts the multi-list adjacency intersections this
+	// plan performed outside the shared core walk: non-core completion
+	// candidate sets and anti-vertex common-neighborhood checks that
+	// merged two or more lists (single-list candidate sets are zero-copy
+	// views, not set computations). Together with the batch-level
+	// ShareStats.Intersections this makes total set-intersection work
+	// attributable — the figure pattern morphing trades against.
+	Intersections uint64
+	Stopped       bool          // true if exploration terminated early
+	PlanTime      time.Duration // exploration-plan generation time
+	MatchTime     time.Duration // wall time of the parallel exploration
+	Threads       int
 }
 
 // Run finds every match of p in g and invokes cb for each. A nil cb
@@ -204,7 +212,26 @@ type MultiStats struct {
 	Stopped   bool          // true if exploration terminated early
 	MatchTime time.Duration // wall time of the parallel exploration
 	Threads   int
+
+	// Intersections totals the completion-side adjacency intersections of
+	// every plan actually executed. Unlike summing Per (whose rows morph
+	// recovery re-synthesizes for the patterns the caller asked about),
+	// this always describes the batch's real runtime work.
+	Intersections uint64
+
+	// Morph describes the batch rewriting applied above this execution
+	// (plan.MorphBatch): zero-valued when the batch ran as given. When
+	// Morph.Active(), Per rows describe the patterns the caller asked
+	// for — counts are algebraically recovered — and traversal-side
+	// figures (CoreMatches, Tasks, Intersections) are attributed to the
+	// executed morphed plans, reported per original only when it ran
+	// directly.
+	Morph plan.MorphStats
 }
+
+// MorphStats quantifies pattern-morphing decisions in a batched
+// counting execution (see MultiStats.Morph).
+type MorphStats = plan.MorphStats
 
 // Matches returns the total match count across all plans.
 func (ms *MultiStats) Matches() uint64 {
@@ -336,6 +363,8 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 			ms.Per[pi].Matches += s.Matches
 			ms.Per[pi].CoreMatches += s.CoreMatches
 			ms.Per[pi].Tasks += s.Tasks
+			ms.Per[pi].Intersections += s.Intersections
+			ms.Intersections += s.Intersections
 		}
 	}
 	for pi := range ms.Per {
@@ -617,8 +646,11 @@ func (w *worker) completeFrom(i int) {
 		w.ncBufs[i] = make([]uint32, 0, 256)
 	}
 	cands := intersectListsInto(w.ncBufs[i], lists, lo, hi)
-	if len(lists) > 1 && cap(cands) > cap(w.ncBufs[i]) {
-		w.ncBufs[i] = cands[:0:cap(cands)]
+	if len(lists) > 1 {
+		w.stats.Intersections++
+		if cap(cands) > cap(w.ncBufs[i]) {
+			w.ncBufs[i] = cands[:0:cap(cands)]
+		}
 	}
 
 	// Candidate filtering, distinctness, and anti-edge rejection are all
@@ -667,6 +699,9 @@ func (w *worker) checkAntiVertices() bool {
 			w.ncBufs[len(w.pl.NonCore)] = make([]uint32, 0, 256)
 		}
 		common := intersectListsInto(w.ncBufs[len(w.pl.NonCore)], lists, noLo, noHi)
+		if len(lists) > 1 {
+			w.stats.Intersections++
+		}
 	candidates:
 		for _, x := range common {
 			// x survives term i iff x is not the match of any pattern

@@ -1,0 +1,483 @@
+package plan
+
+// Pattern morphing for batch counting (Jamshidi & Vora, "Pattern
+// Morphing for Efficient Graph Mining"; DwarvesGraph's counting-only
+// observation — see PAPERS.md). The share trie (share.go) reduces the
+// cost of executing a pattern set; morphing rewrites the set itself:
+// a counting-only pattern with anti-edges can be replaced by cheaper
+// edge-add/edge-remove relatives, and its count recovered from theirs
+// by an exact linear relation.
+//
+// The algebra. Let e(p) be the number of injective embeddings of p —
+// maps sending regular edges to edges and anti-edge pairs to
+// non-adjacent pairs — so the engine's unique-match count is
+// count(p) = e(p)/|Aut(p)|. For any anti-edge a of p, an embedding
+// either maps a's endpoints to an adjacent pair or not, so
+//
+//	e(p) = e(p with a relaxed) − e(p with a made regular),
+//
+// and eliminating every anti-edge this way is inclusion–exclusion over
+// the subsets S of p's anti-edge set A:
+//
+//	e(p) = Σ_{S⊆A} (−1)^{|S|} e(p_S),
+//
+// where p_S keeps p's regular edges, turns S regular, and drops A∖S.
+// Every p_S is anti-edge-free (edge-induced), stays connected (regular
+// edges are only ever added), and is a valid pattern. Grouping the 2^|A|
+// terms by isomorphism class through the canonical-form machinery — the
+// same machinery the plan cache keys on, so isomorphic morphs of
+// different batch members dedup to one executed plan — gives the
+// recovery relation MorphTerms returns:
+//
+//	count(p) = Σ_q Coef_q · count(q) / Div,
+//
+// with Coef_q folding the signed subset multiplicity and |Aut(q)|, and
+// Div = |Aut(p)|. The division is exact on complete runs.
+//
+// Why this wins: anti-edges inflate the pattern core
+// (MinConnectedVertexCover must cover them), so a vertex-induced
+// pattern pays deep guided traversals with anti-rejections where its
+// edge-induced relatives match with small cores and cheap completions —
+// and across a motif batch the relatives of different patterns overlap
+// heavily, so the executed set is barely larger than the most expensive
+// single expansion. MorphBatch picks the cheaper of direct and morphed
+// execution per pattern with a cost model over matching orders, then
+// the share trie merges whatever survives.
+
+import (
+	"math/big"
+	"math/bits"
+
+	"peregrine/internal/pattern"
+)
+
+// Morphing gates. Expansion enumerates 2^|anti-edges| subsets and
+// canonicalizes each, so both the vertex count (canonicalization,
+// automorphism enumeration) and the anti-edge count are bounded;
+// patterns beyond the gates simply run direct.
+const (
+	// MorphMaxVertices bounds morphable pattern size. It stays at or
+	// below the plan cache's canonicalization bound so every morph
+	// relative dedups by canonical form.
+	MorphMaxVertices = 7
+
+	// MorphMaxAntiEdges bounds the inclusion–exclusion expansion
+	// (2^10 = 1024 subsets). A 5-vertex vertex-induced pattern has at
+	// most 6 anti-edges; the gate only excludes adversarial 6-7 vertex
+	// shapes whose expansions would dwarf any execution savings.
+	MorphMaxAntiEdges = 10
+)
+
+// Morphable reports whether p is eligible for morphing: it must carry
+// at least one anti-edge between regular vertices and no anti-vertices
+// (an anti-vertex constrains a common neighborhood, not a single pair,
+// so the pairwise edge algebra above does not apply), within the
+// expansion gates.
+func Morphable(p *pattern.Pattern) bool {
+	return p.N() <= MorphMaxVertices &&
+		p.NumAntiEdges() > 0 &&
+		p.NumAntiEdges() <= MorphMaxAntiEdges &&
+		len(p.AntiVertices()) == 0
+}
+
+// MorphTerm is one isomorphism class of a pattern's morph expansion:
+// an anti-edge-free relative and its signed weight in the recovery
+// relation count(p) = Σ Coef·count(Term) / Div.
+type MorphTerm struct {
+	Pat  *pattern.Pattern
+	Coef int64
+}
+
+// MorphTerms expands p over its morph lattice and returns the recovery
+// relation's terms — deduplicated by canonical form, zero-coefficient
+// classes dropped, in deterministic first-seen order — plus the
+// divisor Div = |Aut(p)|. Returns (nil, 0) when p is not Morphable.
+func MorphTerms(p *pattern.Pattern) ([]MorphTerm, int64) {
+	if !Morphable(p) {
+		return nil, 0
+	}
+	type pair struct{ u, v int }
+	var anti []pair
+	n := p.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if p.EdgeKindOf(u, v) == pattern.Anti {
+				anti = append(anti, pair{u, v})
+			}
+		}
+	}
+	// Accumulate signed subset multiplicities per isomorphism class.
+	type acc struct {
+		pat  *pattern.Pattern
+		coef int64
+	}
+	classes := make(map[string]*acc)
+	var order []string
+	for mask := 0; mask < 1<<len(anti); mask++ {
+		q := p.Clone()
+		for b, e := range anti {
+			if mask>>b&1 == 1 {
+				q.AddEdge(e.u, e.v)
+			} else {
+				q.RemoveEdge(e.u, e.v)
+			}
+		}
+		sign := int64(1)
+		if bits.OnesCount(uint(mask))%2 == 1 {
+			sign = -1
+		}
+		code := q.CanonicalCode()
+		if a, ok := classes[code]; ok {
+			a.coef += sign
+		} else {
+			classes[code] = &acc{pat: q, coef: sign}
+			order = append(order, code)
+		}
+	}
+	var terms []MorphTerm
+	for _, code := range order {
+		a := classes[code]
+		if a.coef == 0 {
+			continue
+		}
+		// Fold the class representative's automorphism count so the
+		// relation applies directly to engine (unique-match) counts.
+		terms = append(terms, MorphTerm{
+			Pat:  a.pat,
+			Coef: a.coef * int64(len(a.pat.Automorphisms())),
+		})
+	}
+	return terms, int64(len(p.Automorphisms()))
+}
+
+// costGrowth is the assumed per-depth candidate branching of a guided
+// traversal. Only relative plan costs matter for morph selection, so a
+// modest constant that makes deep cores expensive is enough.
+const costGrowth = 4.0
+
+// CostOf estimates a plan's exploration cost from its matching orders:
+// each core step's intersection work is weighted by the expected number
+// of partial bindings at its depth, and completion work (non-core
+// candidates, anti-edge rejections, anti-vertex checks) is weighted at
+// core-match frequency. Anti-edges are what morphing removes, and they
+// surface here twice — as extra core depth (the cover must reach them)
+// and as per-step rejection work.
+func CostOf(pl *Plan) float64 {
+	var comp float64
+	for i := range pl.NonCore {
+		nc := &pl.NonCore[i]
+		comp += 1 + float64(len(nc.CoreNbrs)) + float64(len(nc.CoreAnti))
+	}
+	for i := range pl.Checks {
+		comp += 1 + float64(len(pl.Checks[i].Nbrs))
+	}
+	var total float64
+	for _, mo := range pl.Orders {
+		f := 1.0
+		for i := range mo.Steps {
+			st := &mo.Steps[i]
+			total += f * (1 + float64(len(st.NbrVisited)) + 2*float64(len(st.AntiVisited)))
+			f *= costGrowth
+		}
+		total += f * (1 + comp)
+	}
+	return total
+}
+
+// RecoveryTerm references one executed plan's count in a recovery
+// relation.
+type RecoveryTerm struct {
+	Exec int   // index into MorphPlan.Exec
+	Coef int64 // signed weight (multiplicity × |Aut| of the relative)
+}
+
+// Recovery states how one original pattern's count is obtained from the
+// executed batch: directly (Direct >= 0 indexes Exec) or by evaluating
+// the linear relation Σ Coef·count(Exec[Term.Exec]) / Div.
+type Recovery struct {
+	Direct int // executed plan serving this pattern; -1 when morphed
+	Terms  []RecoveryTerm
+	Div    int64
+}
+
+// MorphStats quantifies one batch's morphing decisions. StepsDirect and
+// StepsMorphed are the share-trie program steps of the batch as given
+// versus as executed — the exact pattern-side measure of how much
+// guided-traversal structure morphing removed; runtime savings in
+// core-traversal adjacency intersections (ShareStats.Intersections) are
+// data-dependent and are measured against the WithoutMorphing ablation
+// (IntersectionsSaved is filled by harnesses that run both
+// configurations, never fabricated at runtime). Morphing trades those
+// core intersections for completion-side ones over already-narrowed
+// candidate lists — MultiStats.Intersections reports that side.
+type MorphStats struct {
+	Candidates         uint64 // morph relatives constructed across the batch
+	MorphsChosen       uint64 // relatives added to the executed set
+	PatternsReplaced   uint64 // originals replaced by recovery relations
+	RecoveryTerms      uint64 // relation terms across all replaced patterns
+	StepsDirect        uint64 // trie program steps of the batch as given
+	StepsMorphed       uint64 // trie program steps of the executed set
+	IntersectionsSaved uint64 // core intersections vs ablation; 0 in a lone run
+}
+
+// Active reports whether morphing changed the executed set.
+func (s *MorphStats) Active() bool { return s.PatternsReplaced > 0 }
+
+// MorphPlan is a morphed execution of a counting batch: run Exec, then
+// Recover each original count from the executed counts.
+type MorphPlan struct {
+	Exec  []*Plan    // deduplicated executed plan set
+	Recov []Recovery // one per original batch position
+	Stats MorphStats
+}
+
+// MorphBatch rewrites a counting batch: for each morphable pattern it
+// weighs direct execution against executing its anti-edge-free
+// relatives (compiled and deduplicated through cache — isomorphic
+// relatives of different patterns become one plan) under CostOf, and
+// returns the cheaper equivalent execution with its recovery relations.
+// Returns nil when nothing morphs — callers then run the batch as
+// given. Counting semantics only: callers that need real embeddings
+// (ForEach/Exists/Matches) must not morph. Batches compiled without
+// symmetry breaking are not morphed: their counts are per-automorphism
+// enumerations and the |Aut| weights above do not apply.
+func MorphBatch(pls []*Plan, cache *Cache, opt Options) *MorphPlan {
+	if opt.NoSymmetryBreaking || len(pls) == 0 {
+		return nil
+	}
+	if cache == nil {
+		cache = NewCache()
+	}
+
+	// One selection group per distinct morphable plan; duplicates in the
+	// batch share the decision and the executed plans.
+	type cterm struct {
+		pl   *Plan
+		coef int64
+	}
+	type group struct {
+		terms []cterm
+		div   int64
+		cost  float64
+	}
+	groups := make(map[*Plan]*group)
+	var groupOrder []*Plan
+	fixed := make(map[*Plan]bool) // plans that execute regardless
+	var stats MorphStats
+	for _, pl := range pls {
+		if _, seen := groups[pl]; seen || fixed[pl] {
+			continue
+		}
+		terms, div := MorphTerms(pl.Pat)
+		if terms == nil {
+			fixed[pl] = true
+			continue
+		}
+		g := &group{div: div, cost: CostOf(pl)}
+		ok := true
+		for _, t := range terms {
+			cached, err := cache.Get(t.Pat, opt)
+			if err != nil {
+				// A relative that fails to compile disqualifies the
+				// pattern from morphing, not the batch.
+				ok = false
+				break
+			}
+			g.terms = append(g.terms, cterm{pl: cached.Plan, coef: t.Coef})
+		}
+		if !ok {
+			fixed[pl] = true
+			continue
+		}
+		stats.Candidates += uint64(len(g.terms))
+		groups[pl] = g
+		groupOrder = append(groupOrder, pl)
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+
+	termCost := make(map[*Plan]float64)
+	for _, gp := range groupOrder {
+		for _, t := range groups[gp].terms {
+			if _, ok := termCost[t.pl]; !ok {
+				termCost[t.pl] = CostOf(t.pl)
+			}
+		}
+	}
+
+	// Select the assignment (morph vs direct per group) by steepest-
+	// descent hill climbing on total executed cost. Shared relatives make
+	// the objective non-separable — a relative costs once however many
+	// patterns use it, and costs nothing if a non-morphable batch member
+	// already executes it — so descent runs from both extreme starts:
+	// all-morph converges right when relatives overlap (motif batches),
+	// all-direct when they don't (a lone expensive expansion).
+	objective := func(assign map[*Plan]bool) float64 {
+		total := 0.0
+		use := make(map[*Plan]bool)
+		for _, gp := range groupOrder {
+			if !assign[gp] {
+				total += groups[gp].cost
+				continue
+			}
+			for _, t := range groups[gp].terms {
+				if !fixed[t.pl] && !use[t.pl] {
+					use[t.pl] = true
+					total += termCost[t.pl]
+				}
+			}
+		}
+		return total
+	}
+	descend := func(start bool) (map[*Plan]bool, float64) {
+		assign := make(map[*Plan]bool, len(groups))
+		use := make(map[*Plan]int)
+		for _, gp := range groupOrder {
+			assign[gp] = start
+			if start {
+				for _, t := range groups[gp].terms {
+					use[t.pl]++
+				}
+			}
+		}
+		for {
+			var best *Plan
+			bestDelta := 0.0
+			for _, gp := range groupOrder {
+				g := groups[gp]
+				var delta float64
+				if assign[gp] {
+					// morph -> direct: pay the plan, drop sole-use relatives.
+					delta = g.cost
+					for _, t := range g.terms {
+						if !fixed[t.pl] && use[t.pl] == 1 {
+							delta -= termCost[t.pl]
+						}
+					}
+				} else {
+					// direct -> morph: pay unshared relatives, drop the plan.
+					delta = -g.cost
+					for _, t := range g.terms {
+						if !fixed[t.pl] && use[t.pl] == 0 {
+							delta += termCost[t.pl]
+						}
+					}
+				}
+				if delta < bestDelta {
+					best, bestDelta = gp, delta
+				}
+			}
+			if best == nil {
+				break
+			}
+			d := 1
+			if assign[best] {
+				d = -1
+			}
+			assign[best] = !assign[best]
+			for _, t := range groups[best].terms {
+				use[t.pl] += d
+			}
+		}
+		return assign, objective(assign)
+	}
+	fromMorph, costMorph := descend(true)
+	fromDirect, costDirect := descend(false)
+	assign := fromMorph
+	if costDirect < costMorph {
+		assign = fromDirect
+	}
+	anyMorph := false
+	for _, gp := range groupOrder {
+		if assign[gp] {
+			anyMorph = true
+			break
+		}
+	}
+	if !anyMorph {
+		return nil
+	}
+
+	// Assemble the executed set: originals that still run (in batch
+	// order, deduplicated), then chosen relatives in first-use order.
+	mp := &MorphPlan{Recov: make([]Recovery, len(pls))}
+	execIdx := make(map[*Plan]int)
+	add := func(pl *Plan) int {
+		if j, ok := execIdx[pl]; ok {
+			return j
+		}
+		j := len(mp.Exec)
+		execIdx[pl] = j
+		mp.Exec = append(mp.Exec, pl)
+		return j
+	}
+	for _, pl := range pls {
+		if fixed[pl] || !assign[pl] {
+			add(pl)
+		}
+	}
+	before := len(mp.Exec)
+	for _, pl := range pls {
+		if !fixed[pl] && assign[pl] {
+			for _, t := range groups[pl].terms {
+				add(t.pl)
+			}
+		}
+	}
+	stats.MorphsChosen = uint64(len(mp.Exec) - before)
+	for i, pl := range pls {
+		if fixed[pl] || !assign[pl] {
+			mp.Recov[i] = Recovery{Direct: execIdx[pl]}
+			continue
+		}
+		g := groups[pl]
+		r := Recovery{Direct: -1, Div: g.div, Terms: make([]RecoveryTerm, len(g.terms))}
+		for ti, t := range g.terms {
+			r.Terms[ti] = RecoveryTerm{Exec: execIdx[t.pl], Coef: t.coef}
+		}
+		mp.Recov[i] = r
+		stats.PatternsReplaced++
+		stats.RecoveryTerms += uint64(len(r.Terms))
+	}
+	stats.StepsDirect = BuildShareTrie(pls).ProgramSteps
+	stats.StepsMorphed = BuildShareTrie(mp.Exec).ProgramSteps
+	mp.Stats = stats
+	return mp
+}
+
+// Recover evaluates every recovery relation over the executed counts
+// (indexed like Exec) and returns the original batch's counts.
+// Arithmetic is exact (big.Int): coefficient sums can overflow int64
+// on dense graphs long before the recovered counts do. On a truncated
+// (Stopped) run the relations no longer describe complete counts; a
+// negative evaluation is clamped to zero rather than wrapped.
+func (mp *MorphPlan) Recover(counts []uint64) []uint64 {
+	out := make([]uint64, len(mp.Recov))
+	var acc, tmp, coef big.Int
+	for i := range mp.Recov {
+		r := &mp.Recov[i]
+		if r.Direct >= 0 {
+			out[i] = counts[r.Direct]
+			continue
+		}
+		acc.SetInt64(0)
+		for _, t := range r.Terms {
+			tmp.SetUint64(counts[t.Exec])
+			coef.SetInt64(t.Coef)
+			tmp.Mul(&tmp, &coef)
+			acc.Add(&acc, &tmp)
+		}
+		if acc.Sign() < 0 {
+			continue // truncated run: no complete count to report
+		}
+		coef.SetInt64(r.Div)
+		acc.Quo(&acc, &coef)
+		if acc.IsUint64() {
+			out[i] = acc.Uint64()
+		} else {
+			out[i] = ^uint64(0)
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package plan
+
+import (
+	"testing"
+
+	"peregrine/internal/pattern"
+)
+
+func TestMorphableGates(t *testing.T) {
+	cases := []struct {
+		name string
+		pat  *pattern.Pattern
+		want bool
+	}{
+		{"no anti-edges", pattern.Clique(3), false},
+		{"vi wedge", pattern.MustParse("0-1 1-2 0!2"), true},
+		{"full vi 5-chain", pattern.VertexInduced(pattern.Chain(5)), true},
+		{"at vertex-gate boundary", pattern.VertexInduced(pattern.Chain(MorphMaxVertices)), false},
+		{"within vertex gate", pattern.MustParse("0-1 1-2 2-3 3-4 4-5 5-6 0!6"), true},
+		{"anti-vertex", pattern.MustParse("0-1 1-2 2-0 0!3 1!3"), false},
+	}
+	// The 7-chain's full vertex-induced form carries C(7,2)-6 = 15
+	// anti-edges, past MorphMaxAntiEdges; the sparse 7-vertex cycle-ish
+	// shape above stays under both gates.
+	for _, tc := range cases {
+		if got := Morphable(tc.pat); got != tc.want {
+			t.Errorf("%s: Morphable(%v) = %v, want %v", tc.name, tc.pat, got, tc.want)
+		}
+	}
+	if p := pattern.VertexInduced(pattern.Chain(8)); Morphable(p) {
+		t.Errorf("8-vertex pattern %v must not be morphable", p)
+	}
+}
+
+// The vertex-induced wedge is the classic morphing example: its two
+// expansion classes are the edge-induced wedge (+) and the triangle
+// (-), and folding automorphism counts gives
+//
+//	count(vi-wedge) = (2·count(wedge) − 6·count(triangle)) / 2.
+func TestMorphTermsWedge(t *testing.T) {
+	vi := pattern.MustParse("0-1 1-2 0!2")
+	terms, div := MorphTerms(vi)
+	if div != 2 {
+		t.Fatalf("div = %d, want |Aut(vi-wedge)| = 2", div)
+	}
+	if len(terms) != 2 {
+		t.Fatalf("terms = %d, want 2 classes (wedge, triangle)", len(terms))
+	}
+	byCode := make(map[string]int64)
+	for _, tm := range terms {
+		if tm.Pat.NumAntiEdges() != 0 {
+			t.Errorf("term %v still has anti-edges", tm.Pat)
+		}
+		byCode[tm.Pat.CanonicalCode()] = tm.Coef
+	}
+	if c := byCode[pattern.Chain(3).CanonicalCode()]; c != 2 {
+		t.Errorf("wedge coefficient = %d, want +2 (|Aut| = 2)", c)
+	}
+	if c := byCode[pattern.Clique(3).CanonicalCode()]; c != -6 {
+		t.Errorf("triangle coefficient = %d, want -6 (|Aut| = 6)", c)
+	}
+}
+
+// Structural invariants of every expansion term, over every full
+// vertex-induced form of the 4-vertex motifs: terms are connected,
+// anti-edge-free, same order as the original, and each coefficient is
+// a multiple of its class's automorphism count (the folded |Aut|).
+func TestMorphTermsWellFormed(t *testing.T) {
+	for _, skel := range pattern.GenerateAllVertexInduced(4) {
+		p := pattern.VertexInduced(skel)
+		if p.NumAntiEdges() == 0 {
+			continue // the clique's vertex-induced form has nothing to morph
+		}
+		terms, div := MorphTerms(p)
+		if div != int64(len(p.Automorphisms())) {
+			t.Errorf("%v: div = %d, want |Aut| = %d", p, div, len(p.Automorphisms()))
+		}
+		if len(terms) == 0 {
+			t.Errorf("%v: no expansion terms", p)
+		}
+		for _, tm := range terms {
+			if tm.Pat.N() != p.N() {
+				t.Errorf("%v: term %v changed order", p, tm.Pat)
+			}
+			if tm.Pat.NumAntiEdges() != 0 {
+				t.Errorf("%v: term %v keeps anti-edges", p, tm.Pat)
+			}
+			if !tm.Pat.ConnectedRegular() {
+				t.Errorf("%v: term %v is disconnected", p, tm.Pat)
+			}
+			if err := tm.Pat.Validate(); err != nil {
+				t.Errorf("%v: term %v invalid: %v", p, tm.Pat, err)
+			}
+			aut := int64(len(tm.Pat.Automorphisms()))
+			if tm.Coef%aut != 0 {
+				t.Errorf("%v: term %v coef %d not a multiple of |Aut| = %d",
+					p, tm.Pat, tm.Coef, aut)
+			}
+		}
+	}
+}
+
+// Anti-edges inflate the pattern core, so a vertex-induced pattern's
+// plan must cost more under the model than its edge-induced skeleton's.
+func TestCostOfAntiEdgesDominat(t *testing.T) {
+	for _, skel := range []*pattern.Pattern{pattern.Chain(4), pattern.Star(4), pattern.Cycle(5)} {
+		direct := mustPlan(t, skel)
+		vi := mustPlan(t, pattern.VertexInduced(skel))
+		if CostOf(vi) <= CostOf(direct) {
+			t.Errorf("%v: vertex-induced cost %.1f <= edge-induced cost %.1f",
+				skel, CostOf(vi), CostOf(direct))
+		}
+	}
+}
+
+// A motif batch (every full vertex-induced pattern of one size) is the
+// canonical win: the relatives of the different patterns overlap almost
+// entirely, so morphing replaces the bulk of the batch.
+func TestMorphBatchMotifs(t *testing.T) {
+	cache := NewCache()
+	var pls []*Plan
+	for _, skel := range pattern.GenerateAllVertexInduced(4) {
+		c, err := cache.Get(pattern.VertexInduced(skel), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pls = append(pls, c.Plan)
+	}
+	mp := MorphBatch(pls, cache, Options{})
+	if mp == nil {
+		t.Fatal("motif batch did not morph")
+	}
+	if !mp.Stats.Active() || mp.Stats.PatternsReplaced == 0 {
+		t.Fatalf("stats = %+v, want patterns replaced", mp.Stats)
+	}
+	if mp.Stats.StepsMorphed >= mp.Stats.StepsDirect {
+		t.Errorf("stepsMorphed = %d, want < stepsDirect = %d",
+			mp.Stats.StepsMorphed, mp.Stats.StepsDirect)
+	}
+	if len(mp.Recov) != len(pls) {
+		t.Fatalf("recoveries = %d, want one per original = %d", len(mp.Recov), len(pls))
+	}
+	for i, r := range mp.Recov {
+		if r.Direct >= 0 {
+			if r.Direct >= len(mp.Exec) || mp.Exec[r.Direct] != pls[i] {
+				t.Errorf("recovery %d: direct index %d does not serve its plan", i, r.Direct)
+			}
+			continue
+		}
+		if len(r.Terms) == 0 || r.Div <= 0 {
+			t.Errorf("recovery %d malformed: %+v", i, r)
+		}
+		for _, tm := range r.Terms {
+			if tm.Exec < 0 || tm.Exec >= len(mp.Exec) {
+				t.Errorf("recovery %d references executed plan %d of %d", i, tm.Exec, len(mp.Exec))
+			}
+		}
+	}
+	// The executed set must be anti-edge-free wherever a replacement
+	// happened: replaced originals' plans disappear from Exec.
+	replaced := make(map[*Plan]bool)
+	for i, r := range mp.Recov {
+		if r.Direct < 0 {
+			replaced[pls[i]] = true
+		}
+	}
+	for _, pl := range mp.Exec {
+		if replaced[pl] {
+			t.Errorf("replaced plan %v still in the executed set", pl.Pat)
+		}
+	}
+}
+
+// Duplicates of one pattern share a selection group: one recovery
+// relation each, but no duplicate executed plans.
+func TestMorphBatchDuplicates(t *testing.T) {
+	cache := NewCache()
+	c, err := cache.Get(pattern.MustParse("0-1 1-2 0!2"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := cache.Get(pattern.Clique(3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixed triangle makes the wedge's triangle relative free, so the
+	// cost model always prefers morphing here.
+	mp := MorphBatch([]*Plan{c.Plan, tri.Plan, c.Plan}, cache, Options{})
+	if mp == nil {
+		t.Fatal("wedge+triangle batch did not morph")
+	}
+	if mp.Recov[0].Direct >= 0 || mp.Recov[2].Direct >= 0 {
+		t.Fatalf("duplicate vi-wedges not both morphed: %+v", mp.Recov)
+	}
+	if mp.Recov[1].Direct < 0 {
+		t.Errorf("anti-edge-free triangle was morphed")
+	}
+	seen := make(map[*Plan]bool)
+	for _, pl := range mp.Exec {
+		if seen[pl] {
+			t.Errorf("executed set holds %v twice", pl.Pat)
+		}
+		seen[pl] = true
+	}
+}
+
+// Morphing is gated off entirely for unordered (no symmetry breaking)
+// batches: those counts are per-automorphism enumerations and the
+// folded |Aut| weights do not apply.
+func TestMorphBatchNoSymmetryBreaking(t *testing.T) {
+	cache := NewCache()
+	opt := Options{NoSymmetryBreaking: true}
+	c, err := cache.Get(pattern.MustParse("0-1 1-2 0!2"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp := MorphBatch([]*Plan{c.Plan}, cache, opt); mp != nil {
+		t.Fatalf("unordered batch morphed: %+v", mp.Stats)
+	}
+}
+
+// A batch with nothing morphable runs as given.
+func TestMorphBatchNothingMorphable(t *testing.T) {
+	cache := NewCache()
+	var pls []*Plan
+	for _, p := range []*pattern.Pattern{pattern.Clique(3), pattern.Chain(4)} {
+		c, err := cache.Get(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pls = append(pls, c.Plan)
+	}
+	if mp := MorphBatch(pls, cache, Options{}); mp != nil {
+		t.Fatalf("anti-edge-free batch morphed: %+v", mp.Stats)
+	}
+}
+
+// Recover evaluates the linear relations exactly: the vi-wedge relation
+// (2·wedges − 6·triangles)/2 on hand counts, pass-through for direct
+// rows, and clamping (not wrapping) when a truncated run drives a
+// relation negative.
+func TestRecoverArithmetic(t *testing.T) {
+	mp := &MorphPlan{
+		Exec: make([]*Plan, 2),
+		Recov: []Recovery{
+			{Direct: -1, Terms: []RecoveryTerm{{Exec: 0, Coef: 2}, {Exec: 1, Coef: -6}}, Div: 2},
+			{Direct: 1},
+		},
+	}
+	got := mp.Recover([]uint64{10, 2})
+	if got[0] != 4 {
+		t.Errorf("recovered = %d, want (2·10 - 6·2)/2 = 4", got[0])
+	}
+	if got[1] != 2 {
+		t.Errorf("direct row = %d, want pass-through 2", got[1])
+	}
+	// Truncated-run shape: more triangles counted than the wedge run saw.
+	if got := mp.Recover([]uint64{1, 5}); got[0] != 0 {
+		t.Errorf("negative relation = %d, want clamped 0", got[0])
+	}
+}

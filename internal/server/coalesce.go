@@ -125,6 +125,11 @@ type Coalescer struct {
 	seq     uint64
 
 	counters coalesceCounters
+
+	// morph points at the server-wide morphing totals; batch-level morph
+	// telemetry is observed once per merged execution, not once per
+	// member. Nil when the coalescer runs standalone (tests).
+	morph *morphCounters
 }
 
 // NewCoalescer returns a coalescer whose merged executions descend
@@ -291,6 +296,9 @@ func (c *Coalescer) execute(ctx context.Context, cancel context.CancelFunc, b *c
 	c.counters.traversalsSaved.Add(uint64(len(live) - 1))
 	c.counters.intersections.Add(ms.Share.Intersections)
 	c.counters.intersectionsSaved.Add(ms.Share.IntersectionsSaved)
+	if c.morph != nil {
+		c.morph.observe(morphingStats(ms))
+	}
 
 	for i, m := range live {
 		cs := &CoalescingStats{

@@ -43,6 +43,11 @@ type Server struct {
 	// window makes admission pass straight through.
 	coalescer *Coalescer
 
+	// morph accumulates server-wide pattern-morphing totals; the
+	// coalescer shares this instance so direct and batched runs land in
+	// the same GET /v1/stats counters.
+	morph morphCounters
+
 	// streamAttachTimeout (nanoseconds) cancels a streaming job whose
 	// NDJSON stream was never consumed: its workers park on the full
 	// stream channel and would otherwise pin goroutines and the graph
@@ -60,6 +65,7 @@ const DefaultStreamAttachTimeout = time.Minute
 func NewServer(base context.Context, reg *Registry) *Server {
 	s := &Server{registry: reg, jobs: NewManager(base), plans: peregrine.NewPlanCache(0)}
 	s.coalescer = NewCoalescer(base, CoalesceConfig{Window: DefaultCoalesceWindow}, reg.Acquire)
+	s.coalescer.morph = &s.morph
 	s.streamAttachTimeout.Store(int64(DefaultStreamAttachTimeout))
 	return s
 }
@@ -166,7 +172,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			defer release()
-			return q.run(ctx, g)
+			res, rerr := q.run(ctx, g)
+			// Even a cancelled run's morph telemetry is real work done;
+			// res accompanies rerr on truncated-but-delivered results.
+			if res != nil && res.Stats != nil {
+				s.morph.observe(res.Stats.Morphing)
+			}
+			return res, rerr
 		}
 	}
 	var job *Job

@@ -97,6 +97,13 @@ type RunStats struct {
 	PlanMicros  int64         `json:"planMicros"`
 	MatchMicros int64         `json:"matchMicros"`
 	Sharing     *SharingStats `json:"sharing,omitempty"`
+	// Morphing is present when the batch's counting patterns were
+	// rewritten into cheaper relatives before execution (see
+	// peregrine.WithoutMorphing for the ablation). The traversal figures
+	// above describe the executed — morphed — plan set; matches and
+	// per-pattern counts are always the requested patterns' recovered
+	// counts.
+	Morphing *MorphingStats `json:"morphing,omitempty"`
 	// Coalescing is present when the job rode a cross-request
 	// micro-batch: the whole batch's shape plus this request's own
 	// queue/execution latency split. On a coalesced job the traversal
@@ -117,6 +124,36 @@ type SharingStats struct {
 	IntersectionsSaved uint64 `json:"intersectionsSaved"`
 }
 
+// MorphingStats is the JSON rendering of plan.MorphStats: how a
+// counting batch was rewritten before execution. PatternsReplaced of
+// the batch's patterns were dropped in favor of RecoveryTerms cheaper
+// relatives; StepsDirect and StepsMorphed compare the share-trie
+// program of the batch as requested against the one actually executed.
+type MorphingStats struct {
+	Candidates       uint64 `json:"candidates"`
+	MorphsChosen     uint64 `json:"morphsChosen"`
+	PatternsReplaced uint64 `json:"patternsReplaced"`
+	RecoveryTerms    uint64 `json:"recoveryTerms"`
+	StepsDirect      uint64 `json:"stepsDirect"`
+	StepsMorphed     uint64 `json:"stepsMorphed"`
+}
+
+// morphingStats renders a run's morph telemetry, or nil when morphing
+// did not rewrite the batch (so the field is omitted from the JSON).
+func morphingStats(ms peregrine.MultiStats) *MorphingStats {
+	if !ms.Morph.Active() {
+		return nil
+	}
+	return &MorphingStats{
+		Candidates:       ms.Morph.Candidates,
+		MorphsChosen:     ms.Morph.MorphsChosen,
+		PatternsReplaced: ms.Morph.PatternsReplaced,
+		RecoveryTerms:    ms.Morph.RecoveryTerms,
+		StepsDirect:      ms.Morph.StepsDirect,
+		StepsMorphed:     ms.Morph.StepsMorphed,
+	}
+}
+
 // multiStats aggregates batched execution stats; plan time is the cost
 // of compiling the request's patterns at POST time, which a plan-cache
 // hit reduces to the canonicalization lookup.
@@ -135,6 +172,7 @@ func (q *compiledQuery) multiStats(ms peregrine.MultiStats) *RunStats {
 			Intersections:      ms.Share.Intersections,
 			IntersectionsSaved: ms.Share.IntersectionsSaved,
 		},
+		Morphing: morphingStats(ms),
 	}
 	for _, s := range ms.Per {
 		agg.CoreMatches += s.CoreMatches
@@ -160,6 +198,7 @@ func (q *compiledQuery) coalescedResult(per []peregrine.Stats, ms peregrine.Mult
 			Intersections:      ms.Share.Intersections,
 			IntersectionsSaved: ms.Share.IntersectionsSaved,
 		},
+		Morphing:   morphingStats(ms),
 		Coalescing: cs,
 	}
 	res := &Result{Stats: st}

@@ -6,6 +6,37 @@ package server
 // registry gauges (graphsLoaded, graphsPinned, registryResidentBytes),
 // which are point-in-time.
 
+import "sync/atomic"
+
+// morphCounters accumulate pattern-morphing totals across every count
+// execution — direct runs and coalesced batches both feed the same
+// instance, so GET /v1/stats shows one server-wide view of how much
+// the morphing layer rewrote.
+type morphCounters struct {
+	runs             atomic.Uint64 // executions where morphing rewrote the batch
+	candidates       atomic.Uint64 // morph candidates considered
+	chosen           atomic.Uint64 // candidates the cost model selected
+	patternsReplaced atomic.Uint64 // requested patterns executed via relatives
+	recoveryTerms    atomic.Uint64 // relative-pattern terms in recovery relations
+	stepsDirect      atomic.Uint64 // share-trie steps of the batches as requested
+	stepsMorphed     atomic.Uint64 // share-trie steps actually executed
+}
+
+// observe folds one run's morph telemetry into the totals; a nil st
+// (morphing inactive on that run) is a no-op.
+func (m *morphCounters) observe(st *MorphingStats) {
+	if st == nil {
+		return
+	}
+	m.runs.Add(1)
+	m.candidates.Add(st.Candidates)
+	m.chosen.Add(st.MorphsChosen)
+	m.patternsReplaced.Add(st.PatternsReplaced)
+	m.recoveryTerms.Add(st.RecoveryTerms)
+	m.stepsDirect.Add(st.StepsDirect)
+	m.stepsMorphed.Add(st.StepsMorphed)
+}
+
 // ServerStats is the body of GET /v1/stats.
 type ServerStats struct {
 	// Coalescer totals. CoalesceRequests counts count-query admissions
@@ -24,6 +55,18 @@ type ServerStats struct {
 	CoalesceTraversalsSaved    uint64 `json:"coalesceTraversalsSaved"`
 	CoalesceIntersections      uint64 `json:"coalesceIntersections"`
 	CoalesceIntersectionsSaved uint64 `json:"coalesceIntersectionsSaved"`
+
+	// Morphing totals across every count execution (direct and
+	// coalesced). MorphRuns counts executions whose batch was rewritten;
+	// MorphStepsDirect minus MorphStepsMorphed is the share-trie program
+	// work the rewrites avoided.
+	MorphRuns             uint64 `json:"morphRuns"`
+	MorphCandidates       uint64 `json:"morphCandidates"`
+	MorphsChosen          uint64 `json:"morphsChosen"`
+	MorphPatternsReplaced uint64 `json:"morphPatternsReplaced"`
+	MorphRecoveryTerms    uint64 `json:"morphRecoveryTerms"`
+	MorphStepsDirect      uint64 `json:"morphStepsDirect"`
+	MorphStepsMorphed     uint64 `json:"morphStepsMorphed"`
 
 	// Plan-cache totals for this server's own cache handle.
 	PlanCacheHits    uint64  `json:"planCacheHits"`
@@ -51,6 +94,14 @@ func (s *Server) Stats() ServerStats {
 	st.CoalesceTraversalsSaved = cs.TraversalsSaved
 	st.CoalesceIntersections = cs.Intersections
 	st.CoalesceIntersectionsSaved = cs.IntersectionsSaved
+
+	st.MorphRuns = s.morph.runs.Load()
+	st.MorphCandidates = s.morph.candidates.Load()
+	st.MorphsChosen = s.morph.chosen.Load()
+	st.MorphPatternsReplaced = s.morph.patternsReplaced.Load()
+	st.MorphRecoveryTerms = s.morph.recoveryTerms.Load()
+	st.MorphStepsDirect = s.morph.stepsDirect.Load()
+	st.MorphStepsMorphed = s.morph.stepsMorphed.Load()
 
 	hits, misses := s.plans.Stats()
 	st.PlanCacheHits = hits

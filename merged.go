@@ -38,12 +38,14 @@ func CountEachMerged(g *Graph, queries []*PreparedQuery, opts ...Option) ([][]St
 	idx := make(map[*plan.Plan]int)
 	var plans []*plan.Plan
 	slot := make([][]int, len(queries))
+	anyNoSym := false
 	for qi, q := range queries {
 		c := q.buildConfig(opts)
 		pps, err := q.resolve(c)
 		if err != nil {
 			return nil, MultiStats{}, err
 		}
+		anyNoSym = anyNoSym || c.opts.NoSymmetryBreaking
 		slot[qi] = make([]int, len(pps))
 		for pi := range pps {
 			p := pps[pi].plan
@@ -56,7 +58,28 @@ func CountEachMerged(g *Graph, queries []*PreparedQuery, opts ...Option) ([][]St
 			slot[qi][pi] = j
 		}
 	}
-	ms := core.RunPlans(g, plans, nil, buildConfig(opts).opts)
+	cfg := buildConfig(opts)
+	// Morph the deduplicated union before sharing it: counting batches
+	// with anti-edge patterns execute cheaper relatives and recover the
+	// requested counts algebraically. Per keeps one row per unique
+	// requested plan — morphing changes what executes, not the result
+	// shape — and MultiStats.Morph reports the rewrite. A batch touched
+	// by a no-symmetry-breaking query runs as given: its counts are
+	// per-automorphism enumerations the recovery algebra does not cover.
+	if !cfg.noMorph && !anyNoSym {
+		if mp := plan.MorphBatch(plans, cfg.cache(), cfg.planOptions()); mp != nil {
+			ms := core.RunPlans(g, mp.Exec, nil, cfg.opts)
+			_, ms = recoverCounts(ms, mp)
+			return demuxMerged(queries, slot, ms), ms, nil
+		}
+	}
+	ms := core.RunPlans(g, plans, nil, cfg.opts)
+	return demuxMerged(queries, slot, ms), ms, nil
+}
+
+// demuxMerged fans the per-unique-plan rows back out to each query's
+// own pattern order.
+func demuxMerged(queries []*PreparedQuery, slot [][]int, ms MultiStats) [][]Stats {
 	per := make([][]Stats, len(queries))
 	for qi := range queries {
 		per[qi] = make([]Stats, len(slot[qi]))
@@ -66,5 +89,5 @@ func CountEachMerged(g *Graph, queries []*PreparedQuery, opts ...Option) ([][]St
 			per[qi][pi] = ms.Per[j]
 		}
 	}
-	return per, ms, nil
+	return per
 }

@@ -160,6 +160,7 @@ type Option func(*config)
 type config struct {
 	opts          core.Options
 	vertexInduced bool
+	noMorph       bool
 	planCache     *plan.Cache // nil means the process-wide default
 }
 
@@ -181,6 +182,13 @@ func VertexInduced() Option { return func(c *config) { c.vertexInduced = true } 
 // per-plan work of a serial loop. Counts are identical either way —
 // this is the ablation MultiStats.Share is measured against.
 func WithoutSharing() Option { return func(c *config) { c.opts.NoSharing = true } }
+
+// WithoutMorphing disables pattern morphing on batched counting paths:
+// the batch executes exactly the pattern set it was given, with no
+// rewriting into edge-add/edge-remove relatives and no algebraic count
+// recovery. Counts are identical either way — this is the ablation
+// MultiStats.Morph is measured against, mirroring WithoutSharing.
+func WithoutMorphing() Option { return func(c *config) { c.noMorph = true } }
 
 // WithDeadline bounds the exploration's wall time: past the deadline the
 // engine stops as if Ctx.Stop had been called and Stats.Stopped reports
@@ -206,6 +214,19 @@ func buildConfig(opts []Option) config {
 		o(&c)
 	}
 	return c
+}
+
+// cache resolves the plan cache executions compile and morph through.
+func (c config) cache() *plan.Cache {
+	if c.planCache != nil {
+		return c.planCache
+	}
+	return defaultPlanCache
+}
+
+// planOptions renders the config's plan-affecting settings.
+func (c config) planOptions() plan.Options {
+	return plan.Options{NoSymmetryBreaking: c.opts.NoSymmetryBreaking}
 }
 
 func (c config) pattern(p *Pattern) *Pattern {

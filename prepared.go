@@ -44,6 +44,13 @@ type MultiStats = core.MultiStats
 // execution (see MultiStats.Share).
 type ShareStats = core.ShareStats
 
+// MorphStats quantifies pattern morphing in a batched counting
+// execution (see MultiStats.Morph): how many edge-add/edge-remove
+// relatives were considered and chosen, how many requested patterns
+// were replaced by algebraic recovery relations, and the pattern-side
+// trie program steps of the batch as given versus as executed.
+type MorphStats = core.MorphStats
+
 // matchStreamBuffer decouples engine workers from a Matches consumer.
 // Workers block once it fills — backpressure, not buffering: memory
 // stays flat no matter how many matches the pattern has.
@@ -242,11 +249,29 @@ func (q *PreparedQuery) CountEach(g *Graph, opts ...Option) ([]uint64, error) {
 
 // CountEachWithStats is CountEach along with the batched execution
 // statistics (per-pattern counts plus the shared traversal figures).
+//
+// Counting is where pattern morphing applies: patterns with anti-edges
+// may be rewritten into cheaper edge-induced relatives whose counts
+// recover the requested ones exactly (plan.MorphBatch), morphing first
+// and then sharing what remains through the trie. The returned counts
+// are always the requested patterns'; MultiStats.Morph reports the
+// rewriting and WithoutMorphing disables it. Entry points that deliver
+// real embeddings (ForEach, Exists, Matches) never morph.
 func (q *PreparedQuery) CountEachWithStats(g *Graph, opts ...Option) ([]uint64, MultiStats, error) {
-	ms, err := q.ForEach(g, nil, opts...)
+	c := q.buildConfig(opts)
+	pps, err := q.resolve(c)
 	if err != nil {
 		return nil, MultiStats{}, err
 	}
+	plans := plansOf(pps)
+	if !c.noMorph {
+		if mp := plan.MorphBatch(plans, c.cache(), c.planOptions()); mp != nil {
+			ms := core.RunPlans(g, mp.Exec, nil, c.opts)
+			counts, ms := recoverCounts(ms, mp)
+			return counts, ms, nil
+		}
+	}
+	ms := core.RunPlans(g, plans, nil, c.opts)
 	counts := make([]uint64, len(ms.Per))
 	for i := range ms.Per {
 		counts[i] = ms.Per[i].Matches
@@ -254,14 +279,51 @@ func (q *PreparedQuery) CountEachWithStats(g *Graph, opts ...Option) ([]uint64, 
 	return counts, ms, nil
 }
 
+// recoverCounts rewrites a morphed execution's statistics onto the
+// original batch shape: executed counts are folded through the
+// recovery relations, and Per rows line up with the patterns the
+// caller asked for. Patterns that ran directly keep their exact
+// traversal figures; replaced patterns carry the recovered count with
+// the batch-wide run figures (their traversal work happened under the
+// executed relatives).
+func recoverCounts(ms core.MultiStats, mp *plan.MorphPlan) ([]uint64, core.MultiStats) {
+	execCounts := make([]uint64, len(ms.Per))
+	for i := range ms.Per {
+		execCounts[i] = ms.Per[i].Matches
+	}
+	counts := mp.Recover(execCounts)
+	per := make([]core.Stats, len(mp.Recov))
+	for i := range mp.Recov {
+		if d := mp.Recov[i].Direct; d >= 0 {
+			per[i] = ms.Per[d]
+		} else {
+			per[i] = core.Stats{
+				Matches:   counts[i],
+				Stopped:   ms.Stopped,
+				MatchTime: ms.MatchTime,
+				Threads:   ms.Threads,
+			}
+		}
+	}
+	ms.Per = per
+	ms.Morph = mp.Stats
+	return counts, ms
+}
+
 // Count returns the total number of matches across all prepared
-// patterns from a single traversal of g.
+// patterns from a single traversal of g. Like CountEach, counting may
+// execute morphed relatives of the prepared patterns and recover the
+// requested counts algebraically.
 func (q *PreparedQuery) Count(g *Graph, opts ...Option) (uint64, error) {
-	ms, err := q.ForEach(g, nil, opts...)
+	counts, _, err := q.CountEachWithStats(g, opts...)
 	if err != nil {
 		return 0, err
 	}
-	return ms.Matches(), nil
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
 }
 
 // Exists reports whether any prepared pattern has at least one match in

@@ -96,7 +96,10 @@ func TestDifferentialSharedBatches(t *testing.T) {
 				for j, i := range idx {
 					ps[j] = vind[i]
 				}
-				counts, ms, err := CountManyWithStats(tc.g, ps, WithThreads(4))
+				// WithoutMorphing: this suite measures the share trie on the
+				// batch as given (morphed-path counts have their own
+				// three-way differential in morph_test.go).
+				counts, ms, err := CountManyWithStats(tc.g, ps, WithThreads(4), WithoutMorphing())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -306,11 +309,14 @@ func TestSharingSavesIntersections(t *testing.T) {
 		{4, 1.5},
 		{5, 1.5},
 	} {
-		_, sh, err := MotifCountsWithStats(g, tc.size, WithThreads(4))
+		// WithoutMorphing on both sides: this measures the trie's sharing
+		// win on the motif batch itself; morphing's further reduction is
+		// measured separately (morph_test.go, BenchmarkMorphedVsDirect).
+		_, sh, err := MotifCountsWithStats(g, tc.size, WithThreads(4), WithoutMorphing())
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, un, err := MotifCountsWithStats(g, tc.size, WithThreads(4), WithoutSharing())
+		_, un, err := MotifCountsWithStats(g, tc.size, WithThreads(4), WithoutSharing(), WithoutMorphing())
 		if err != nil {
 			t.Fatal(err)
 		}
