@@ -8,10 +8,17 @@
 //	gengraph -kind er   -v 300000 -e 1500000 -maxdeg 800 -o patents-like.txt
 //	gengraph -dataset mico-lite -scale 4 -format pgr -o mico.pgr
 //	gengraph -in mico-like.txt -format pgr -o mico-like.pgr   # convert
+//	gengraph -dataset patents-lite -shards 4 -o patents.manifest
 //
 // -format defaults to the -o extension (.pgr selects the binary),
 // else the edge list. Converting an existing graph with -in re-reads
 // it (either format, auto-detected) and rewrites it in -format.
+//
+// -shards N partitions the graph into N contiguous vertex ranges,
+// balanced by adjacency size, and writes one .pgr fragment per shard
+// next to -o plus the manifest at -o itself. The manifest loads like
+// any other graph file, paging fragments in on demand — the out-of-core
+// format — and seeds peregrine-coord's fan-out ranges.
 package main
 
 import (
@@ -35,9 +42,17 @@ func main() {
 	scale := flag.Int("scale", 1, "scale multiplier for -dataset")
 	in := flag.String("in", "", "convert an existing graph file (either format) instead of generating")
 	format := flag.String("format", "", "output format: edgelist | pgr (default: by -o extension)")
+	shards := flag.Int("shards", 0, "partition into this many .pgr fragments plus a manifest at -o (requires -o)")
 	out := flag.String("o", "", "output path (default stdout)")
 	flag.Parse()
 
+	if *shards > 0 {
+		*format = "sharded"
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "gengraph: -shards requires -o (the manifest path)")
+			os.Exit(2)
+		}
+	}
 	if *format == "" {
 		if strings.HasSuffix(*out, ".pgr") {
 			*format = "pgr"
@@ -45,7 +60,7 @@ func main() {
 			*format = "edgelist"
 		}
 	}
-	if *format != "pgr" && *format != "edgelist" {
+	if *format != "pgr" && *format != "edgelist" && *format != "sharded" {
 		fmt.Fprintf(os.Stderr, "gengraph: unknown format %q (want edgelist or pgr)\n", *format)
 		os.Exit(2)
 	}
@@ -85,6 +100,13 @@ func main() {
 	// the loaded graph aliases the input file's mapping.
 	var err error
 	switch {
+	case *format == "sharded":
+		var m *graph.Manifest
+		if m, err = graph.SaveSharded(*out, g, *shards); err == nil {
+			fmt.Fprintf(os.Stderr, "gengraph: wrote %v as %d fragment(s) + manifest %s\n",
+				g, len(m.Shards), *out)
+			return
+		}
 	case *out == "" && *format == "pgr":
 		err = graph.WriteBinary(os.Stdout, g)
 	case *out == "":

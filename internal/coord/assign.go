@@ -1,0 +1,52 @@
+package coord
+
+// Shard→node assignment: pure placement logic shared by
+// cmd/peregrine-coord and the tests.
+
+// Range is one contiguous task range [Lo, Hi).
+type Range struct {
+	Lo, Hi uint32
+}
+
+// SplitRange partitions [0, n) into shards near-equal contiguous
+// ranges — the no-manifest fallback where only the vertex count is
+// known. Returns nil when n == 0 or shards < 1.
+func SplitRange(n uint32, shards int) []Range {
+	if n == 0 || shards < 1 {
+		return nil
+	}
+	if uint32(shards) > n {
+		shards = int(n)
+	}
+	out := make([]Range, 0, shards)
+	var lo uint32
+	for s := 0; s < shards; s++ {
+		hi := uint32(uint64(n) * uint64(s+1) / uint64(shards))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	out[len(out)-1].Hi = n
+	return out
+}
+
+// Assign places ranges on nodes round-robin: range i's preferred owner
+// is nodes[i mod len(nodes)], followed by up to replicas-1 failover
+// nodes continuing the rotation. replicas < 1 (or exceeding the node
+// count) means every node backs every shard.
+func Assign(ranges []Range, nodes []string, replicas int) []ShardSpec {
+	if replicas < 1 || replicas > len(nodes) {
+		replicas = len(nodes)
+	}
+	out := make([]ShardSpec, len(ranges))
+	for i, r := range ranges {
+		list := make([]string, 0, replicas)
+		for k := 0; k < replicas; k++ {
+			list = append(list, nodes[(i+k)%len(nodes)])
+		}
+		out[i] = ShardSpec{Lo: r.Lo, Hi: r.Hi, Nodes: list}
+	}
+	return out
+}

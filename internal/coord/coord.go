@@ -1,0 +1,475 @@
+// Package coord is the scale-out layer: a coordinator that owns a
+// shard→node assignment and serves the same POST /v1/query count API
+// as a single peregrine-serve node, fanning each query out as
+// per-shard task-range jobs and merging the answers.
+//
+// The distribution primitive is the task range (peregrine.
+// WithTaskRange): a count over start vertices [lo, hi) is exact for
+// matches rooted in that range, and disjoint ranges' counts sum to the
+// whole-graph counts — with or without symmetry breaking. The
+// coordinator therefore needs no cross-node communication at all: one
+// HTTP round per shard, then addition. Each shard carries a replica
+// list of nodes that can serve it; a node that fails mid-query (the
+// connection drops, the process dies) costs one retry of that shard's
+// range on the next replica, not the whole query.
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peregrine/internal/server"
+)
+
+// ShardSpec assigns one contiguous task range to a replica list of
+// nodes. Nodes are base URLs ("http://host:port") tried in order; the
+// first is the shard's preferred owner, the rest are failover.
+type ShardSpec struct {
+	Lo    uint32   `json:"lo"`
+	Hi    uint32   `json:"hi"` // exclusive; must exceed Lo
+	Nodes []string `json:"nodes"`
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Graph is the graph name each node has registered; requests that
+	// name no graph get this one, and requests naming a different graph
+	// are refused (the assignment is per graph).
+	Graph string
+	// Shards is the task-range partition. Ranges must be disjoint;
+	// together they should cover [0, V) or merged counts undercount.
+	Shards []ShardSpec
+	// Timeout bounds each per-shard HTTP round; 0 means 5 minutes.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); nil uses a default.
+	Client *http.Client
+}
+
+// Coordinator fans count queries out across shards and merges results.
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+	jobSeq atomic.Uint64
+
+	// Per-shard failover state: preferred replica index, advanced when
+	// a replica fails so later queries skip straight to the survivor.
+	mu    sync.Mutex
+	pref  []int
+	fails []uint64 // per-shard failover count, served by /v1/coord
+}
+
+// New validates cfg and returns a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Graph == "" {
+		return nil, fmt.Errorf("coord: config needs a graph name")
+	}
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("coord: config needs at least one shard")
+	}
+	sorted := append([]ShardSpec(nil), cfg.Shards...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	for i, sh := range sorted {
+		if sh.Hi <= sh.Lo {
+			return nil, fmt.Errorf("coord: shard %d range [%d,%d) is empty", i, sh.Lo, sh.Hi)
+		}
+		if len(sh.Nodes) == 0 {
+			return nil, fmt.Errorf("coord: shard %d has no nodes", i)
+		}
+		if i > 0 && sh.Lo < sorted[i-1].Hi {
+			return nil, fmt.Errorf("coord: shard ranges [%d,%d) and [%d,%d) overlap",
+				sorted[i-1].Lo, sorted[i-1].Hi, sh.Lo, sh.Hi)
+		}
+	}
+	cfg.Shards = sorted
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Coordinator{
+		cfg:    cfg,
+		client: client,
+		pref:   make([]int, len(sorted)),
+		fails:  make([]uint64, len(sorted)),
+	}, nil
+}
+
+// Nodes returns the distinct node URLs across all shards, in first-use
+// order.
+func (c *Coordinator) Nodes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, sh := range c.cfg.Shards {
+		for _, n := range sh.Nodes {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Handler returns the coordinator's HTTP API: the node-compatible
+// subset (POST /v1/query for counts, GET /v1/stats, GET /v1/graphs,
+// GET /healthz) plus GET /v1/coord describing the shard assignment.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", c.handleQuery)
+	mux.HandleFunc("/v1/stats", c.handleStats)
+	mux.HandleFunc("/v1/graphs", c.handleGraphs)
+	mux.HandleFunc("/v1/coord", c.handleCoord)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+// httpError writes a JSON error body, matching the node convention.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleQuery fans a count query out as per-shard task-range jobs and
+// responds with a terminal job snapshot, the same shape a node's
+// wait:true query returns — so clients (peregrine-loadgen included)
+// cannot tell a coordinator from a single node.
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req server.Request
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Kind != server.KindCount {
+		httpError(w, http.StatusBadRequest,
+			"coordinator serves count queries only (kind %q): send others to a node directly", req.Kind)
+		return
+	}
+	if req.TaskLo != 0 || req.TaskHi != 0 {
+		httpError(w, http.StatusBadRequest, "the coordinator owns task ranges; leave taskLo/taskHi unset")
+		return
+	}
+	if req.Graph == "" {
+		req.Graph = c.cfg.Graph
+	}
+	if req.Graph != c.cfg.Graph {
+		httpError(w, http.StatusNotFound, "coordinator serves graph %q only", c.cfg.Graph)
+		return
+	}
+	if req.Stream {
+		httpError(w, http.StatusBadRequest, "coordinator queries cannot stream")
+		return
+	}
+
+	created := time.Now().UTC()
+	id := fmt.Sprintf("coord-%d", c.jobSeq.Add(1))
+	merged, err := c.fanOut(r.Context(), req)
+	finished := time.Now().UTC()
+	info := server.JobInfo{
+		ID:       id,
+		Request:  req,
+		Created:  created,
+		Finished: &finished,
+	}
+	if err != nil {
+		info.Status = server.StatusFailed
+		info.Error = err.Error()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		_ = json.NewEncoder(w).Encode(info)
+		return
+	}
+	info.Status = server.StatusDone
+	info.Result = merged
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+// fanOut runs req once per shard, each restricted to the shard's task
+// range, and merges the per-shard results.
+func (c *Coordinator) fanOut(ctx context.Context, req server.Request) (*server.Result, error) {
+	results := make([]*server.Result, len(c.cfg.Shards))
+	errs := make([]error, len(c.cfg.Shards))
+	var wg sync.WaitGroup
+	for i := range c.cfg.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.runShard(ctx, req, i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			sh := c.cfg.Shards[i]
+			return nil, fmt.Errorf("shard [%d,%d): %w", sh.Lo, sh.Hi, err)
+		}
+	}
+	return mergeResults(req, results), nil
+}
+
+// runShard executes req over shard i's task range, walking the shard's
+// replica list until a node answers. A replica that fails is demoted:
+// later queries start from the survivor instead of re-discovering the
+// failure per request.
+func (c *Coordinator) runShard(ctx context.Context, req server.Request, i int) (*server.Result, error) {
+	sh := c.cfg.Shards[i]
+	sub := req
+	sub.TaskLo = sh.Lo
+	sub.TaskHi = sh.Hi
+	sub.Wait = true
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	start := c.pref[i]
+	c.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < len(sh.Nodes); attempt++ {
+		ri := (start + attempt) % len(sh.Nodes)
+		res, err := c.postQuery(ctx, sh.Nodes[ri], body)
+		if err == nil {
+			if attempt > 0 {
+				c.mu.Lock()
+				c.pref[i] = ri
+				c.fails[i]++
+				c.mu.Unlock()
+			}
+			return res, nil
+		}
+		lastErr = fmt.Errorf("node %s: %w", sh.Nodes[ri], err)
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("all %d replicas failed: %w", len(sh.Nodes), lastErr)
+}
+
+// postQuery runs one synchronous per-shard job against a node.
+func (c *Coordinator) postQuery(ctx context.Context, node string, body []byte) (*server.Result, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(node, "/")+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var info server.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("bad response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		if info.Error != "" {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, info.Error)
+		}
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if info.Status != server.StatusDone {
+		if info.Error != "" {
+			return nil, fmt.Errorf("job %s: %s", info.Status, info.Error)
+		}
+		return nil, fmt.Errorf("job finished %s", info.Status)
+	}
+	if info.Result == nil {
+		return nil, fmt.Errorf("done job carried no result")
+	}
+	return info.Result, nil
+}
+
+// mergeResults adds per-shard counts — exact by task-range additivity —
+// and folds the execution stats: counters sum; wall-clock match time is
+// the slowest shard (they ran concurrently).
+func mergeResults(req server.Request, parts []*server.Result) *server.Result {
+	out := &server.Result{}
+	var st *server.RunStats
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Count += p.Count
+		if p.PerPattern != nil {
+			if out.PerPattern == nil {
+				out.PerPattern = make([]server.PatternCount, len(p.PerPattern))
+				for i, pc := range p.PerPattern {
+					out.PerPattern[i].Pattern = pc.Pattern
+				}
+			}
+			for i, pc := range p.PerPattern {
+				if i < len(out.PerPattern) {
+					out.PerPattern[i].Count += pc.Count
+				}
+			}
+		}
+		if p.Stats == nil {
+			continue
+		}
+		if st == nil {
+			st = &server.RunStats{Threads: p.Stats.Threads}
+		}
+		st.Matches += p.Stats.Matches
+		st.CoreMatches += p.Stats.CoreMatches
+		st.Tasks += p.Stats.Tasks
+		st.Stopped = st.Stopped || p.Stats.Stopped
+		if p.Stats.PlanMicros > st.PlanMicros {
+			st.PlanMicros = p.Stats.PlanMicros
+		}
+		if p.Stats.MatchMicros > st.MatchMicros {
+			st.MatchMicros = p.Stats.MatchMicros
+		}
+		if sh := p.Stats.Sharing; sh != nil {
+			if st.Sharing == nil {
+				st.Sharing = &server.SharingStats{}
+			}
+			st.Sharing.TrieNodes += sh.TrieNodes
+			st.Sharing.ProgramSteps += sh.ProgramSteps
+			st.Sharing.SharedNodeVisits += sh.SharedNodeVisits
+			st.Sharing.Intersections += sh.Intersections
+			st.Sharing.IntersectionsSaved += sh.IntersectionsSaved
+		}
+		if m := p.Stats.Morphing; m != nil {
+			if st.Morphing == nil {
+				st.Morphing = &server.MorphingStats{}
+			}
+			st.Morphing.Candidates += m.Candidates
+			st.Morphing.MorphsChosen += m.MorphsChosen
+			st.Morphing.PatternsReplaced += m.PatternsReplaced
+			st.Morphing.RecoveryTerms += m.RecoveryTerms
+			st.Morphing.StepsDirect += m.StepsDirect
+			st.Morphing.StepsMorphed += m.StepsMorphed
+		}
+		if sd := p.Stats.Sharding; sd != nil {
+			if st.Sharding == nil {
+				st.Sharding = &server.ShardingStats{}
+			}
+			st.Sharding.Shards += sd.Shards
+			st.Sharding.Loads += sd.Loads
+			st.Sharding.Evictions += sd.Evictions
+			st.Sharding.ResidentBytes += sd.ResidentBytes
+		}
+	}
+	out.Stats = st
+	return out
+}
+
+// handleStats sums the flat /v1/stats counters across the distinct
+// nodes, recomputing the plan-cache hit rate from the summed totals so
+// the merged body still decodes as one node's ServerStats.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sum := make(map[string]float64)
+	for _, node := range c.Nodes() {
+		one, err := c.getJSON(r.Context(), node, "/v1/stats")
+		if err != nil {
+			// A dead node contributes nothing; the merged stats cover the
+			// reachable fleet (the query path is where failover matters).
+			continue
+		}
+		var m map[string]float64
+		if json.Unmarshal(one, &m) != nil {
+			continue
+		}
+		for k, v := range m {
+			sum[k] += v
+		}
+	}
+	if hits, misses := sum["planCacheHits"], sum["planCacheMisses"]; hits+misses > 0 {
+		sum["planCacheHitRate"] = hits / (hits + misses)
+	} else {
+		delete(sum, "planCacheHitRate")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(sum)
+}
+
+// handleGraphs proxies the listing of the first reachable node: every
+// node registers the same graphs, so one healthy answer describes the
+// fleet.
+func (c *Coordinator) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	for _, node := range c.Nodes() {
+		body, err := c.getJSON(r.Context(), node, "/v1/graphs")
+		if err != nil {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "no node reachable")
+}
+
+// handleCoord describes the shard assignment and failover history.
+func (c *Coordinator) handleCoord(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type shardView struct {
+		ShardSpec
+		Preferred int    `json:"preferred"`
+		Failovers uint64 `json:"failovers"`
+	}
+	view := struct {
+		Graph  string      `json:"graph"`
+		Shards []shardView `json:"shards"`
+	}{Graph: c.cfg.Graph}
+	c.mu.Lock()
+	for i, sh := range c.cfg.Shards {
+		view.Shards = append(view.Shards, shardView{ShardSpec: sh, Preferred: c.pref[i], Failovers: c.fails[i]})
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(view)
+}
+
+// getJSON fetches one node endpoint body.
+func (c *Coordinator) getJSON(ctx context.Context, node, path string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(node, "/")+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+}

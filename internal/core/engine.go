@@ -107,6 +107,21 @@ type Options struct {
 	// per-plan work of a serial loop. The sharing ablation — counts are
 	// identical either way; only MultiStats.Share differs.
 	NoSharing bool
+
+	// TaskLo and TaskHi restrict the scan to mining tasks whose start
+	// vertex lies in [TaskLo, TaskHi); TaskHi == 0 means NumVertices.
+	// Every enumeration is rooted at exactly one task (its maximum-id
+	// core vertex), so counts from disjoint ranges sum to the full-graph
+	// count exactly — with or without symmetry breaking. This is the
+	// partitioning seam the distributed coordinator (internal/coord)
+	// fans out over, and what shard-scan mode iterates shard by shard.
+	//
+	// Morph recovery is NOT valid under a task range: a pattern and its
+	// morphed relatives can have different cores, hence different root
+	// tasks for matches on the same vertex set, so the inclusion–
+	// exclusion algebra only balances over the whole graph. Callers
+	// above the engine disable morphing for ranged executions.
+	TaskLo, TaskHi uint32
 }
 
 // Stats summarizes one match execution. In a batched run (RunPlans)
@@ -227,6 +242,27 @@ type MultiStats struct {
 	// executed morphed plans, reported per original only when it ran
 	// directly.
 	Morph plan.MorphStats
+
+	// Shards describes out-of-core fragment activity during this run,
+	// nil when the graph is not sharded. Loads and Evictions are deltas
+	// for this run; Evictions > 0 means the graph mined under a budget
+	// smaller than its working set.
+	Shards *ShardScanStats
+
+	// Err records a storage failure observed during the run — a shard
+	// fragment that failed to load serves empty adjacency from that
+	// point on, so counts are unreliable when Err is non-nil. Callers
+	// above the engine surface it as the query error.
+	Err error
+}
+
+// ShardScanStats is MultiStats' out-of-core telemetry for one run over
+// a sharded graph.
+type ShardScanStats struct {
+	Shards        int    // shards in the graph's manifest
+	Loads         uint64 // fragment loads during this run
+	Evictions     uint64 // budget evictions during this run
+	ResidentBytes uint64 // resident fragment bytes at run end
 }
 
 // MorphStats quantifies pattern-morphing decisions in a batched
@@ -271,7 +307,11 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 		ms.Per[i].Threads = threads
 	}
 	n := int64(g.NumVertices())
-	if n == 0 || len(pls) == 0 {
+	lo, hi := int64(opt.TaskLo), n
+	if opt.TaskHi != 0 && int64(opt.TaskHi) < n {
+		hi = int64(opt.TaskHi)
+	}
+	if hi <= lo || len(pls) == 0 {
 		return ms
 	}
 
@@ -312,9 +352,18 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 
 	// Tasks are handed out from the highest vertex id down: ids are
 	// degree-ordered, so high-degree (expensive, heavily-pruned) tasks
-	// run first to avoid stragglers (§5.2).
+	// run first to avoid stragglers (§5.2). For a sharded graph this
+	// descending scan is also the shard-scan order: shard ranges are
+	// contiguous, so consecutive tasks fall in the same fragment and a
+	// worker re-pins only when it crosses a shard boundary.
 	next := new(atomic.Int64)
-	next.Store(n)
+	next.Store(hi)
+
+	var shard0 graph.ShardCounters
+	sharded := false
+	if c, ok := g.ShardCounters(); ok {
+		shard0, sharded = c, true
+	}
 
 	stats := make([][]Stats, threads)
 	shares := make([]ShareStats, threads)
@@ -333,13 +382,37 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 			// Accumulate locally: adjacent tasks[] slots share cache
 			// lines, and this counter bumps once per claimed vertex.
 			var done uint64
+			// Shard-scan pinning: hold the fragment owning the current
+			// task range resident so the scan's own rows can't thrash
+			// out from under the budget; deeper traversal hops fault
+			// fragments in unpinned. pinHi < pinLo forces a pin on the
+			// first claimed task.
+			var pinLo, pinHi int64 = 0, -1
+			var unpin func()
 			for {
 				i := next.Add(-1)
-				if i < 0 || stop.Load() {
+				if i < lo || stop.Load() {
 					break
+				}
+				if sharded && (i < pinLo || i >= pinHi) {
+					if unpin != nil {
+						unpin()
+						unpin = nil
+					}
+					plo, phi, rel, err := g.PinShard(uint32(i))
+					if err != nil {
+						// The shard set is poisoned; ms.Err reports it
+						// after the run. Stop all workers now.
+						stop.Store(true)
+						break
+					}
+					pinLo, pinHi, unpin = int64(plo), int64(phi), rel
 				}
 				mw.runTask(uint32(i))
 				done++
+			}
+			if unpin != nil {
+				unpin()
 			}
 			tasks[tid] = done
 			tb.Close()
@@ -376,6 +449,16 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 	}
 	ms.Stopped = stop.Load()
 	ms.MatchTime = time.Since(start)
+	if sharded {
+		c, _ := g.ShardCounters()
+		ms.Shards = &ShardScanStats{
+			Shards:        c.Shards,
+			Loads:         c.Loads - shard0.Loads,
+			Evictions:     c.Evictions - shard0.Evictions,
+			ResidentBytes: c.ResidentBytes,
+		}
+		ms.Err = g.ShardErr()
+	}
 	return ms
 }
 

@@ -12,7 +12,8 @@ package graph
 //
 //	[0:8)    magic "PGRCSR\x00\x01"
 //	[8:12)   version  uint32 (currently 1)
-//	[12:16)  flags    uint32 (bit 0: labels section, bit 1: origID section)
+//	[12:16)  flags    uint32 (bit 0: labels section, bit 1: origID
+//	         section, bit 2: shard fragment)
 //	[16:20)  numVertices uint32
 //	[20:24)  labelCount  uint32
 //	[24:32)  numEdges    uint64
@@ -22,6 +23,18 @@ package graph
 //	[..)     adj      adjLen × uint32
 //	[..)     labels   numVertices × uint32   (iff flags bit 0)
 //	[..)     origID   numVertices × uint32   (iff flags bit 1)
+//
+// A shard fragment (flags bit 2, written by SaveSharded and loaded only
+// through its manifest — see shard.go) reinterprets the same layout for
+// a contiguous owned vertex range [fragLo, fragLo+numVertices):
+// numVertices counts owned vertices, offsets are local to the fragment,
+// adj holds *global* neighbor ids (including cross-shard boundary
+// edges, each stored once here), numEdges equals adjLen (stored
+// directed entries — an undirected edge inside one shard appears twice,
+// a boundary edge once per owning side), and two formerly-reserved
+// words carry the placement: [40:44) fragLo, [44:48) fragTotal (the
+// full graph's vertex count). The whole-graph loaders reject fragment
+// files so a stray shard can't be served as a complete graph.
 //
 // Section sizes are fully determined by the header, and the file size
 // must match exactly; the 64-byte header keeps the offsets section
@@ -46,9 +59,10 @@ const (
 	binaryVersion = 1
 	headerSize    = 64
 
-	flagLabels uint32 = 1 << 0
-	flagOrigID uint32 = 1 << 1
-	flagsKnown        = flagLabels | flagOrigID
+	flagLabels   uint32 = 1 << 0
+	flagOrigID   uint32 = 1 << 1
+	flagFragment uint32 = 1 << 2
+	flagsKnown          = flagLabels | flagOrigID | flagFragment
 )
 
 // ErrBadFormat wraps every malformed-.pgr error so callers can
@@ -66,14 +80,20 @@ func badFormat(format string, args ...any) error {
 // binaryHeader is the decoded fixed-size .pgr header.
 type binaryHeader struct {
 	flags      uint32
-	n          uint32 // numVertices
+	n          uint32 // numVertices (for fragments: owned vertex count)
 	labelCount uint32
 	numEdges   uint64
 	adjLen     uint64
+
+	// Fragment-only fields, stored in formerly-reserved header bytes
+	// (see the layout comment above). Zero for whole-graph files.
+	fragLo    uint32 // first owned vertex id
+	fragTotal uint32 // vertex count of the full sharded graph
 }
 
 func (h binaryHeader) hasLabels() bool { return h.flags&flagLabels != 0 }
 func (h binaryHeader) hasOrigID() bool { return h.flags&flagOrigID != 0 }
+func (h binaryHeader) fragment() bool  { return h.flags&flagFragment != 0 }
 
 // fileBytes returns the exact size of a well-formed file with this
 // header — also the resident footprint of the mmap-backed Graph — or
@@ -110,6 +130,10 @@ func (h binaryHeader) encode() []byte {
 	binary.LittleEndian.PutUint32(buf[20:], h.labelCount)
 	binary.LittleEndian.PutUint64(buf[24:], h.numEdges)
 	binary.LittleEndian.PutUint64(buf[32:], h.adjLen)
+	if h.fragment() {
+		binary.LittleEndian.PutUint32(buf[40:], h.fragLo)
+		binary.LittleEndian.PutUint32(buf[44:], h.fragTotal)
+	}
 	return buf
 }
 
@@ -135,20 +159,42 @@ func decodeHeader(buf []byte, maxBytes uint64) (binaryHeader, error) {
 	if h.flags&^flagsKnown != 0 {
 		return h, badFormat("unknown flags %#x", h.flags)
 	}
-	for i := 40; i < headerSize; i++ {
+	reservedFrom := 40
+	if h.fragment() {
+		h.fragLo = binary.LittleEndian.Uint32(buf[40:])
+		h.fragTotal = binary.LittleEndian.Uint32(buf[44:])
+		reservedFrom = 48
+	}
+	for i := reservedFrom; i < headerSize; i++ {
 		if buf[i] != 0 {
 			return h, badFormat("nonzero reserved header bytes")
 		}
 	}
-	if h.adjLen != 2*h.numEdges {
+	if h.fragment() {
+		// Fragments store each directed adjacency entry once; a boundary
+		// edge appears only on its owning side, so there is no 2*E
+		// relation to enforce — numEdges simply mirrors adjLen.
+		if h.numEdges != h.adjLen {
+			return h, badFormat("fragment numEdges %d != adjLen %d", h.numEdges, h.adjLen)
+		}
+		if uint64(h.fragLo)+uint64(h.n) > uint64(h.fragTotal) {
+			return h, badFormat("fragment range [%d,%d) exceeds total %d vertices",
+				h.fragLo, uint64(h.fragLo)+uint64(h.n), h.fragTotal)
+		}
+	} else if h.adjLen != 2*h.numEdges {
 		return h, badFormat("adjLen %d != 2*numEdges %d", h.adjLen, h.numEdges)
 	}
 	if h.hasLabels() == (h.labelCount == 0) && h.n > 0 {
 		return h, badFormat("labelCount %d inconsistent with flags %#x", h.labelCount, h.flags)
 	}
 	// Reject sizes that cannot be real before any allocation: adjLen is
-	// bounded by n*(n-1) for a simple graph.
-	if n := uint64(h.n); h.adjLen > n*n {
+	// bounded by n*(n-1) for a simple whole graph, and by owned*total
+	// for a fragment.
+	adjCap := uint64(h.n) * uint64(h.n)
+	if h.fragment() {
+		adjCap = uint64(h.n) * uint64(h.fragTotal)
+	}
+	if h.adjLen > adjCap {
 		return h, badFormat("adjLen %d impossible for %d vertices", h.adjLen, h.n)
 	}
 	implied, ok := h.fileBytes()
@@ -180,7 +226,15 @@ func headerFor(g *Graph) binaryHeader {
 
 // WriteBinary writes g to w in the .pgr binary format.
 func WriteBinary(w io.Writer, g *Graph) error {
-	h := headerFor(g)
+	if g.sh != nil {
+		return errors.New("graph: cannot write a sharded graph as a single .pgr file")
+	}
+	return writeSections(w, headerFor(g), g.offsets, g.adj, g.labels, g.origID)
+}
+
+// writeSections writes a .pgr header followed by its offsets and
+// uint32 sections; shared by the whole-graph and fragment writers.
+func writeSections(w io.Writer, h binaryHeader, offsets []uint64, sections ...[]uint32) error {
 	if _, err := w.Write(h.encode()); err != nil {
 		return fmt.Errorf("graph: write .pgr header: %w", err)
 	}
@@ -213,12 +267,12 @@ func WriteBinary(w io.Writer, g *Graph) error {
 		buf = binary.LittleEndian.AppendUint32(buf, v)
 		return nil
 	}
-	for _, v := range g.offsets {
+	for _, v := range offsets {
 		if err := put64(v); err != nil {
 			return fmt.Errorf("graph: write .pgr offsets: %w", err)
 		}
 	}
-	for _, sec := range [][]uint32{g.adj, g.labels, g.origID} {
+	for _, sec := range sections {
 		for _, v := range sec {
 			if err := put32(v); err != nil {
 				return fmt.Errorf("graph: write .pgr section: %w", err)
@@ -249,6 +303,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	h, err := decodeHeader(data, uint64(len(data)))
 	if err != nil {
 		return nil, err
+	}
+	if h.fragment() {
+		return nil, badFormat("file is a shard fragment; load it through its manifest")
 	}
 	g := &Graph{
 		offsets:    make([]uint64, uint64(h.n)+1),
@@ -379,6 +436,9 @@ func StatBinary(path string) (Stat, error) {
 	h, err := decodeHeader(buf, uint64(fi.Size()))
 	if err != nil {
 		return Stat{}, err
+	}
+	if h.fragment() {
+		return Stat{}, badFormat("file is a shard fragment; stat it through its manifest")
 	}
 	return h.stat(), nil
 }

@@ -35,22 +35,50 @@ type Graph struct {
 	// release unmaps backing storage for mmap-backed graphs (see
 	// LoadBinary); nil for heap-backed graphs. Consumed by Close.
 	release func() error
+
+	// sh is non-nil for manifest-backed sharded graphs (LoadSharded):
+	// the CSR slices above stay nil and every accessor routes through
+	// the shard set, which faults fragments in on demand. See shard.go.
+	sh *shardSet
 }
 
 // NumVertices returns |V(G)|.
-func (g *Graph) NumVertices() uint32 { return uint32(len(g.offsets) - 1) }
+func (g *Graph) NumVertices() uint32 {
+	if g.sh != nil {
+		return g.sh.stat.Vertices
+	}
+	return uint32(len(g.offsets) - 1)
+}
 
 // NumEdges returns |E(G)| counting each undirected edge once.
-func (g *Graph) NumEdges() uint64 { return g.numEdge }
+func (g *Graph) NumEdges() uint64 {
+	if g.sh != nil {
+		return g.sh.stat.Edges
+	}
+	return g.numEdge
+}
 
 // Labeled reports whether the graph carries vertex labels.
-func (g *Graph) Labeled() bool { return g.labels != nil }
+func (g *Graph) Labeled() bool {
+	if g.sh != nil {
+		return g.sh.stat.Labeled
+	}
+	return g.labels != nil
+}
 
 // NumLabels returns the number of distinct labels, or 0 for unlabeled graphs.
-func (g *Graph) NumLabels() int { return g.labelCount }
+func (g *Graph) NumLabels() int {
+	if g.sh != nil {
+		return g.sh.stat.Labels
+	}
+	return g.labelCount
+}
 
 // Label returns the label of v, or NoLabel for unlabeled graphs.
 func (g *Graph) Label(v uint32) uint32 {
+	if g.sh != nil {
+		return g.sh.label(v)
+	}
 	if g.labels == nil {
 		return NoLabel
 	}
@@ -58,14 +86,30 @@ func (g *Graph) Label(v uint32) uint32 {
 }
 
 // Adj returns the sorted adjacency list of v. The returned slice is a
-// view into the graph's storage and must not be modified.
-func (g *Graph) Adj(v uint32) []uint32 { return g.adj[g.offsets[v]:g.offsets[v+1]] }
+// view into the graph's storage and must not be modified. For a
+// sharded graph the view stays valid across eviction of its fragment
+// (fragments are heap-backed; the collector keeps referenced arrays
+// alive).
+func (g *Graph) Adj(v uint32) []uint32 {
+	if g.sh != nil {
+		return g.sh.adj(v)
+	}
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
 
 // Degree returns the number of neighbors of v.
-func (g *Graph) Degree(v uint32) uint32 { return uint32(g.offsets[v+1] - g.offsets[v]) }
+func (g *Graph) Degree(v uint32) uint32 {
+	if g.sh != nil {
+		return uint32(len(g.sh.adj(v)))
+	}
+	return uint32(g.offsets[v+1] - g.offsets[v])
+}
 
 // OrigID maps a degree-ordered vertex id back to the id used in the input.
 func (g *Graph) OrigID(v uint32) uint32 {
+	if g.sh != nil {
+		return g.sh.origIDOf(v)
+	}
 	if g.origID == nil {
 		return v
 	}
@@ -97,13 +141,18 @@ func (g *Graph) AvgDegree() float64 {
 	if n == 0 {
 		return 0
 	}
-	return float64(2*g.numEdge) / float64(n)
+	return float64(2*g.NumEdges()) / float64(n)
 }
 
 // Bytes returns the resident size of the graph's CSR arrays — for an
 // mmap-backed graph, the size of the mapping. Registries use it for
 // memory-budget accounting.
 func (g *Graph) Bytes() uint64 {
+	if g.sh != nil {
+		// Only resident fragments cost memory; the budget keeps this
+		// bounded regardless of total graph size.
+		return g.sh.resident.Load()
+	}
 	return 8*uint64(len(g.offsets)) +
 		4*uint64(len(g.adj)) +
 		4*uint64(len(g.labels)) +
@@ -116,6 +165,10 @@ func (g *Graph) Bytes() uint64 {
 // Close is idempotent but not concurrency-safe with graph use: callers
 // that share a graph must pin it (see internal/server's registry).
 func (g *Graph) Close() error {
+	if g.sh != nil {
+		g.sh.close()
+		return nil
+	}
 	if g.release == nil {
 		return nil
 	}

@@ -64,6 +64,9 @@ func graphFromMapping(data []byte) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	if h.fragment() {
+		return nil, badFormat("file is a shard fragment; load it through its manifest")
+	}
 	g := &Graph{
 		numEdge:    h.numEdges,
 		labelCount: int(h.labelCount),

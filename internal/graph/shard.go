@@ -1,0 +1,924 @@
+package graph
+
+// Sharded graph storage: a manifest file maps contiguous vertex ranges
+// to per-shard .pgr fragment files, so one logical graph can live in
+// many pieces — on one disk for out-of-core mining, or spread across
+// serve nodes for distributed fan-out (internal/coord).
+//
+// The manifest is a small line-oriented text file:
+//
+//	PGRSHARD 1
+//	graph <vertices> <edges> <labelCount> <labeled 0|1>
+//	shard <lo> <hi> <file>
+//	...
+//
+// Shard lines must be contiguous and ascending, covering [0, vertices)
+// exactly; <file> is a path relative to the manifest's directory (no
+// absolute paths, no ".." components, no whitespace). Each fragment is
+// a .pgr file with the flagFragment layout (see binary.go): local
+// offsets over its owned range, global neighbor ids, and each directed
+// adjacency entry stored once by its owning side — so the union of the
+// fragments reconstructs the full CSR exactly.
+//
+// A loaded sharded graph is an ordinary *Graph whose accessors route
+// through a shardSet: fragments load lazily on first touch, stay
+// heap-backed (never mmap — see shardSet), and evict under a byte
+// budget with approximate LRU. Mining a graph larger than memory works
+// because the engine pins only the fragment owning the current task
+// range (Graph.PinShard) while deeper traversal hops fault fragments
+// in and out on demand.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// manifestMagic begins every manifest file; the version follows it.
+const manifestMagic = "PGRSHARD"
+
+// manifestVersion is the current manifest format version.
+const manifestVersion = 1
+
+// ShardInfo is one manifest entry: the shard owns data vertices in
+// [Lo, Hi) and stores its CSR fragment in File, relative to the
+// manifest's directory.
+type ShardInfo struct {
+	Lo, Hi uint32
+	File   string
+}
+
+// Manifest describes a sharded graph: whole-graph metadata plus the
+// ordered, contiguous list of vertex-range shards.
+type Manifest struct {
+	Stat   Stat
+	Shards []ShardInfo
+}
+
+// validateManifest checks the invariants both the reader and the
+// writer enforce: shard ranges contiguous and ascending covering
+// [0, Vertices) exactly, safe relative file paths, and consistent
+// label metadata.
+func validateManifest(m *Manifest) error {
+	if m.Stat.Labeled && m.Stat.Labels < 1 {
+		return badFormat("manifest: labeled graph with labelCount %d", m.Stat.Labels)
+	}
+	if !m.Stat.Labeled && m.Stat.Labels != 0 {
+		return badFormat("manifest: unlabeled graph with labelCount %d", m.Stat.Labels)
+	}
+	if m.Stat.Vertices == 0 {
+		if len(m.Shards) != 0 {
+			return badFormat("manifest: empty graph with %d shards", len(m.Shards))
+		}
+		return nil
+	}
+	if len(m.Shards) == 0 {
+		return badFormat("manifest: no shards for %d vertices", m.Stat.Vertices)
+	}
+	seen := make(map[string]struct{}, len(m.Shards))
+	next := uint32(0)
+	for i, sh := range m.Shards {
+		if sh.Lo != next {
+			return badFormat("manifest: shard %d range [%d,%d) not contiguous (want lo %d)", i, sh.Lo, sh.Hi, next)
+		}
+		if sh.Hi <= sh.Lo {
+			return badFormat("manifest: shard %d range [%d,%d) empty or inverted", i, sh.Lo, sh.Hi)
+		}
+		if sh.Hi > m.Stat.Vertices {
+			return badFormat("manifest: shard %d range [%d,%d) exceeds %d vertices", i, sh.Lo, sh.Hi, m.Stat.Vertices)
+		}
+		if err := checkShardPath(sh.File); err != nil {
+			return fmt.Errorf("%w (shard %d)", err, i)
+		}
+		if _, dup := seen[sh.File]; dup {
+			return badFormat("manifest: shard %d reuses file %q", i, sh.File)
+		}
+		seen[sh.File] = struct{}{}
+		next = sh.Hi
+	}
+	if next != m.Stat.Vertices {
+		return badFormat("manifest: shards cover [0,%d), graph has %d vertices", next, m.Stat.Vertices)
+	}
+	return nil
+}
+
+// checkShardPath rejects fragment paths that could escape the
+// manifest's directory: a hostile manifest must not be able to read
+// arbitrary files by absolute path or ".." traversal.
+func checkShardPath(p string) error {
+	if p == "" {
+		return badFormat("manifest: empty shard file")
+	}
+	if filepath.IsAbs(p) || strings.HasPrefix(p, "/") {
+		return badFormat("manifest: absolute shard path %q", p)
+	}
+	for _, part := range strings.Split(filepath.ToSlash(p), "/") {
+		if part == "" || part == "." || part == ".." {
+			return badFormat("manifest: unsafe shard path %q", p)
+		}
+	}
+	return nil
+}
+
+// WriteManifest writes m in the manifest text format, validating first
+// so a malformed Manifest cannot produce a file ReadManifest rejects.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	if err := validateManifest(m); err != nil {
+		return err
+	}
+	for _, sh := range m.Shards {
+		// The format is whitespace-split; a name with spaces would parse
+		// back as garbage.
+		if strings.ContainsAny(sh.File, " \t\r\n") {
+			return badFormat("manifest: shard file %q contains whitespace", sh.File)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	labeled := 0
+	if m.Stat.Labeled {
+		labeled = 1
+	}
+	fmt.Fprintf(bw, "%s %d\n", manifestMagic, manifestVersion)
+	fmt.Fprintf(bw, "graph %d %d %d %d\n", m.Stat.Vertices, m.Stat.Edges, m.Stat.Labels, labeled)
+	for _, sh := range m.Shards {
+		fmt.Fprintf(bw, "shard %d %d %s\n", sh.Lo, sh.Hi, sh.File)
+	}
+	return bw.Flush()
+}
+
+// ReadManifest parses and validates a manifest from r. Every malformed
+// input — bad header, overlapping or out-of-order ranges, gaps,
+// truncation mid-file, unsafe paths — returns an error wrapping
+// ErrBadFormat.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<16)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("graph: read manifest: %w", err)
+		}
+		return nil, badFormat("manifest: empty file")
+	}
+	if got := strings.TrimRight(sc.Text(), "\r"); got != fmt.Sprintf("%s %d", manifestMagic, manifestVersion) {
+		return nil, badFormat("manifest: bad header line %q", got)
+	}
+	m := &Manifest{}
+	sawGraph := false
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "graph":
+			if sawGraph {
+				return nil, badFormat("manifest: line %d: duplicate graph line", lineNo)
+			}
+			if len(fields) != 5 {
+				return nil, badFormat("manifest: line %d: want 'graph V E labels labeled'", lineNo)
+			}
+			v, err := parseU32(fields[1])
+			if err != nil {
+				return nil, badFormat("manifest: line %d: vertices: %v", lineNo, err)
+			}
+			e, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, badFormat("manifest: line %d: edges: %v", lineNo, err)
+			}
+			lc, err := parseU32(fields[3])
+			if err != nil {
+				return nil, badFormat("manifest: line %d: labelCount: %v", lineNo, err)
+			}
+			switch fields[4] {
+			case "0":
+				m.Stat.Labeled = false
+			case "1":
+				m.Stat.Labeled = true
+			default:
+				return nil, badFormat("manifest: line %d: labeled flag %q", lineNo, fields[4])
+			}
+			m.Stat.Vertices, m.Stat.Edges, m.Stat.Labels = v, e, int(lc)
+			sawGraph = true
+		case "shard":
+			if !sawGraph {
+				return nil, badFormat("manifest: line %d: shard before graph line", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, badFormat("manifest: line %d: want 'shard lo hi file'", lineNo)
+			}
+			lo, err := parseU32(fields[1])
+			if err != nil {
+				return nil, badFormat("manifest: line %d: lo: %v", lineNo, err)
+			}
+			hi, err := parseU32(fields[2])
+			if err != nil {
+				return nil, badFormat("manifest: line %d: hi: %v", lineNo, err)
+			}
+			m.Shards = append(m.Shards, ShardInfo{Lo: lo, Hi: hi, File: fields[3]})
+		default:
+			return nil, badFormat("manifest: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read manifest: %w", err)
+	}
+	if !sawGraph {
+		return nil, badFormat("manifest: missing graph line")
+	}
+	if err := validateManifest(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadManifest reads and validates the manifest at path.
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	m, err := ReadManifest(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return m, nil
+}
+
+// SniffManifest reports whether path begins with the manifest magic.
+func SniffManifest(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, len(manifestMagic)+1)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return false, nil
+		}
+		return false, fmt.Errorf("graph: %w", err)
+	}
+	return string(buf) == manifestMagic+" ", nil
+}
+
+// Fragment is one loaded shard: the CSR rows of its owned vertex range
+// [Lo, Lo+Owned()), with neighbor ids global to the full graph.
+type Fragment struct {
+	Lo    uint32 // first owned vertex id
+	Total uint32 // vertex count of the full graph
+
+	offsets    []uint64 // len Owned()+1, local to the fragment
+	adj        []uint32 // global neighbor ids
+	labels     []uint32 // owned-range labels, nil when unlabeled
+	origID     []uint32 // owned-range original ids, nil when absent
+	labelCount uint32   // whole-graph distinct label count
+}
+
+// Owned returns the number of vertices this fragment owns.
+func (f *Fragment) Owned() uint32 { return uint32(len(f.offsets) - 1) }
+
+// Hi returns one past the last owned vertex id.
+func (f *Fragment) Hi() uint32 { return f.Lo + f.Owned() }
+
+// Adj returns the sorted global-id adjacency list of owned vertex v.
+func (f *Fragment) Adj(v uint32) []uint32 {
+	i := v - f.Lo
+	return f.adj[f.offsets[i]:f.offsets[i+1]]
+}
+
+// Label returns the label of owned vertex v, or NoLabel when the graph
+// is unlabeled.
+func (f *Fragment) Label(v uint32) uint32 {
+	if f.labels == nil {
+		return NoLabel
+	}
+	return f.labels[v-f.Lo]
+}
+
+// OrigIDOf maps owned vertex v back to its original input id.
+func (f *Fragment) OrigIDOf(v uint32) uint32 {
+	if f.origID == nil {
+		return v
+	}
+	return f.origID[v-f.Lo]
+}
+
+// Bytes returns the heap footprint of the fragment's arrays.
+func (f *Fragment) Bytes() uint64 {
+	return 8*uint64(len(f.offsets)) +
+		4*uint64(len(f.adj)) +
+		4*uint64(len(f.labels)) +
+		4*uint64(len(f.origID))
+}
+
+// validate checks the fragment-level CSR invariants, mirroring
+// Graph.validate: offsets monotone and spanning adj exactly, neighbors
+// in global range, lists strictly sorted, no self-loops.
+func (f *Fragment) validate() error {
+	owned := uint64(f.Owned())
+	if uint64(f.Lo)+owned > uint64(f.Total) {
+		return badFormat("fragment range [%d,%d) exceeds total %d", f.Lo, uint64(f.Lo)+owned, f.Total)
+	}
+	if f.offsets[0] != 0 {
+		return badFormat("fragment offsets[0] = %d, want 0", f.offsets[0])
+	}
+	if last := f.offsets[owned]; last != uint64(len(f.adj)) {
+		return badFormat("fragment offsets end %d != adj length %d", last, len(f.adj))
+	}
+	for i := uint64(0); i < owned; i++ {
+		if f.offsets[i] > f.offsets[i+1] {
+			return badFormat("fragment offsets not monotone at vertex %d", f.Lo+uint32(i))
+		}
+		if f.offsets[i+1] > uint64(len(f.adj)) {
+			return badFormat("fragment offsets[%d] = %d exceeds adj length %d", i+1, f.offsets[i+1], len(f.adj))
+		}
+	}
+	for i := uint64(0); i < owned; i++ {
+		v := f.Lo + uint32(i)
+		list := f.adj[f.offsets[i]:f.offsets[i+1]]
+		for j, u := range list {
+			if uint64(u) >= uint64(f.Total) {
+				return badFormat("fragment vertex %d: neighbor %d out of range", v, u)
+			}
+			if u == v {
+				return badFormat("fragment vertex %d: self-loop", v)
+			}
+			if j > 0 && list[j-1] >= u {
+				return badFormat("fragment vertex %d: adjacency not strictly sorted", v)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFragment writes f as a flagFragment .pgr stream.
+func WriteFragment(w io.Writer, f *Fragment) error {
+	h := binaryHeader{
+		flags:      flagFragment,
+		n:          f.Owned(),
+		labelCount: f.labelCount,
+		numEdges:   uint64(len(f.adj)),
+		adjLen:     uint64(len(f.adj)),
+		fragLo:     f.Lo,
+		fragTotal:  f.Total,
+	}
+	if f.labels != nil {
+		h.flags |= flagLabels
+	}
+	if f.origID != nil {
+		h.flags |= flagOrigID
+	}
+	return writeSections(w, h, f.offsets, f.adj, f.labels, f.origID)
+}
+
+// SaveFragment writes f to path atomically.
+func SaveFragment(path string, f *Fragment) error {
+	return saveAtomic(path, func(w io.Writer) error { return WriteFragment(w, f) })
+}
+
+// ReadFragment parses a complete fragment .pgr stream. Like
+// ReadBinary it copies field by field, so fragments are always
+// heap-backed — which is what makes mid-query eviction safe: dropping
+// a fragment just unpublishes the pointer, and in-flight Adj views
+// stay valid until the collector reclaims them.
+func ReadFragment(r io.Reader) (*Fragment, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read fragment: %w", err)
+	}
+	h, err := decodeHeader(data, uint64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	if !h.fragment() {
+		return nil, badFormat("file is a whole graph, not a shard fragment")
+	}
+	f := &Fragment{
+		Lo:         h.fragLo,
+		Total:      h.fragTotal,
+		offsets:    make([]uint64, uint64(h.n)+1),
+		adj:        make([]uint32, h.adjLen),
+		labelCount: h.labelCount,
+	}
+	pos := uint64(headerSize)
+	for i := range f.offsets {
+		f.offsets[i] = binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+	}
+	read32 := func(dst []uint32) {
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint32(data[pos:])
+			pos += 4
+		}
+	}
+	read32(f.adj)
+	if h.hasLabels() {
+		f.labels = make([]uint32, h.n)
+		read32(f.labels)
+	}
+	if h.hasOrigID() {
+		f.origID = make([]uint32, h.n)
+		read32(f.origID)
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// LoadFragment reads the fragment at path into the heap.
+func LoadFragment(path string) (*Fragment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	frag, err := ReadFragment(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return frag, nil
+}
+
+// SplitGraph cuts g into at most shards contiguous vertex-range
+// fragments, balancing by adjacency entries (so a hub-heavy suffix of
+// the degree-ordered id space doesn't land in one shard). Fragments
+// alias g's arrays; they are valid as long as g is.
+func SplitGraph(g *Graph, shards int) []*Fragment {
+	if g.sh != nil {
+		// Splitting an already-sharded graph would need a materialized
+		// CSR; callers load into memory first.
+		panic("graph: SplitGraph on a sharded graph")
+	}
+	n := g.NumVertices()
+	if shards < 1 {
+		shards = 1
+	}
+	if uint64(shards) > uint64(n) {
+		shards = int(n)
+	}
+	if n == 0 {
+		return nil
+	}
+	total := uint64(len(g.adj))
+	frags := make([]*Fragment, 0, shards)
+	lo := uint32(0)
+	for s := 0; s < shards; s++ {
+		hi := n
+		if s < shards-1 {
+			target := total * uint64(s+1) / uint64(shards)
+			hi = lo + 1
+			for hi < n && g.offsets[hi] < target {
+				hi++
+			}
+			// Leave at least one vertex for each remaining shard.
+			if max := n - uint32(shards-1-s); hi > max {
+				hi = max
+			}
+		}
+		frags = append(frags, fragmentOf(g, lo, hi))
+		lo = hi
+	}
+	return frags
+}
+
+// fragmentOf cuts the rows [lo, hi) of g into a Fragment view.
+func fragmentOf(g *Graph, lo, hi uint32) *Fragment {
+	base := g.offsets[lo]
+	off := make([]uint64, hi-lo+1)
+	for i := range off {
+		off[i] = g.offsets[lo+uint32(i)] - base
+	}
+	f := &Fragment{
+		Lo:         lo,
+		Total:      g.NumVertices(),
+		offsets:    off,
+		adj:        g.adj[base:g.offsets[hi]],
+		labelCount: uint32(g.labelCount),
+	}
+	if g.labels != nil {
+		f.labels = g.labels[lo:hi]
+	}
+	if g.origID != nil {
+		f.origID = g.origID[lo:hi]
+	}
+	return f
+}
+
+// SaveSharded partitions g into shards fragments next to manifestPath
+// and writes the manifest atomically. Fragment files are named after
+// the manifest's base name (minus a ".manifest" suffix, if any):
+// "<base>.shard<i>.pgr". It returns the written manifest.
+func SaveSharded(manifestPath string, g *Graph, shards int) (*Manifest, error) {
+	if g.sh != nil {
+		return nil, errors.New("graph: cannot re-shard a sharded graph; load it into memory first")
+	}
+	frags := SplitGraph(g, shards)
+	dir := filepath.Dir(manifestPath)
+	base := strings.TrimSuffix(filepath.Base(manifestPath), ".manifest")
+	m := &Manifest{Stat: StatOf(g), Shards: make([]ShardInfo, len(frags))}
+	for i, f := range frags {
+		name := fmt.Sprintf("%s.shard%d.pgr", base, i)
+		if err := SaveFragment(filepath.Join(dir, name), f); err != nil {
+			return nil, err
+		}
+		m.Shards[i] = ShardInfo{Lo: f.Lo, Hi: f.Hi(), File: name}
+	}
+	if err := saveAtomic(manifestPath, func(w io.Writer) error { return WriteManifest(w, m) }); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ShardCounters is a snapshot of a sharded graph's fragment activity.
+type ShardCounters struct {
+	Shards        int    // shards in the manifest
+	Resident      int    // fragments currently loaded
+	Pinned        int    // fragments pinned by in-flight task scans
+	Loads         uint64 // cumulative fragment loads (> Shards means reloads after eviction)
+	Evictions     uint64 // cumulative budget evictions
+	ResidentBytes uint64 // bytes held by resident fragments
+}
+
+// shardSet is the runtime behind a sharded *Graph: it routes vertex
+// accesses to lazily-loaded fragments and evicts them under a byte
+// budget.
+//
+// Fragments are always heap-backed (LoadFragment, never mmap), which
+// is the whole eviction-safety story: the canonical reference is an
+// atomic.Pointer, eviction just stores nil, and any Adj slice a worker
+// is still ranging over keeps its fragment alive until GC. There is no
+// unmap to fault on, and the atomic publish gives readers a
+// happens-before on the fully-built fragment.
+type shardSet struct {
+	dir   string
+	stat  Stat
+	lo    []uint32 // shard i owns [lo[i], hiOf(i))
+	files []string
+
+	frags []atomic.Pointer[Fragment]
+
+	mu      sync.Mutex // guards loads, evictions, pins, lastUse, err
+	pins    []int32
+	lastUse []uint64
+	clock   uint64
+	err     error // sticky first load/validation failure
+
+	resident  atomic.Uint64
+	budget    atomic.Uint64 // 0 = unlimited
+	loads     atomic.Uint64
+	evictions atomic.Uint64
+}
+
+func newShardSet(dir string, m *Manifest) *shardSet {
+	s := &shardSet{
+		dir:     dir,
+		stat:    m.Stat,
+		lo:      make([]uint32, len(m.Shards)),
+		files:   make([]string, len(m.Shards)),
+		frags:   make([]atomic.Pointer[Fragment], len(m.Shards)),
+		pins:    make([]int32, len(m.Shards)),
+		lastUse: make([]uint64, len(m.Shards)),
+	}
+	for i, sh := range m.Shards {
+		s.lo[i] = sh.Lo
+		s.files[i] = sh.File
+	}
+	return s
+}
+
+// owner returns the index of the shard owning vertex v. Ranges are
+// contiguous from 0, so this is a binary search over the lo array.
+func (s *shardSet) owner(v uint32) int {
+	return sort.Search(len(s.lo), func(i int) bool { return s.lo[i] > v }) - 1
+}
+
+func (s *shardSet) hiOf(i int) uint32 {
+	if i+1 < len(s.lo) {
+		return s.lo[i+1]
+	}
+	return s.stat.Vertices
+}
+
+// fragOf returns the loaded fragment owning v, faulting it in on
+// demand. A load failure poisons the set (see loadErr) and returns
+// nil; callers see an empty adjacency and the error surfaces after the
+// run.
+func (s *shardSet) fragOf(v uint32) *Fragment {
+	si := s.owner(v)
+	if f := s.frags[si].Load(); f != nil {
+		return f
+	}
+	return s.require(si)
+}
+
+func (s *shardSet) adj(v uint32) []uint32 {
+	f := s.fragOf(v)
+	if f == nil {
+		return nil
+	}
+	return f.Adj(v)
+}
+
+func (s *shardSet) label(v uint32) uint32 {
+	if !s.stat.Labeled {
+		return NoLabel
+	}
+	f := s.fragOf(v)
+	if f == nil {
+		return NoLabel
+	}
+	return f.Label(v)
+}
+
+func (s *shardSet) origIDOf(v uint32) uint32 {
+	f := s.fragOf(v)
+	if f == nil {
+		return v
+	}
+	return f.OrigIDOf(v)
+}
+
+// require loads shard si under the lock, double-checking first.
+func (s *shardSet) require(si int) *Fragment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requireLocked(si)
+}
+
+func (s *shardSet) requireLocked(si int) *Fragment {
+	if f := s.frags[si].Load(); f != nil {
+		s.touchLocked(si)
+		return f
+	}
+	if s.err != nil {
+		return nil
+	}
+	f, err := LoadFragment(filepath.Join(s.dir, s.files[si]))
+	if err == nil {
+		err = s.checkFragment(si, f)
+	}
+	if err != nil {
+		s.err = fmt.Errorf("graph: shard %d: %w", si, err)
+		return nil
+	}
+	s.frags[si].Store(f)
+	s.resident.Add(f.Bytes())
+	s.loads.Add(1)
+	s.touchLocked(si)
+	s.evictLocked(si)
+	return f
+}
+
+// checkFragment verifies a loaded fragment matches its manifest entry,
+// so a swapped or stale file fails loudly instead of mis-routing.
+func (s *shardSet) checkFragment(si int, f *Fragment) error {
+	if f.Lo != s.lo[si] || f.Hi() != s.hiOf(si) {
+		return badFormat("fragment range [%d,%d) does not match manifest [%d,%d)", f.Lo, f.Hi(), s.lo[si], s.hiOf(si))
+	}
+	if f.Total != s.stat.Vertices {
+		return badFormat("fragment total %d does not match manifest %d vertices", f.Total, s.stat.Vertices)
+	}
+	if (f.labels != nil) != s.stat.Labeled {
+		return badFormat("fragment label section does not match manifest")
+	}
+	return nil
+}
+
+func (s *shardSet) touchLocked(si int) {
+	s.clock++
+	s.lastUse[si] = s.clock
+}
+
+// evictLocked drops least-recently-loaded fragments until the set fits
+// its budget. Pinned fragments and keep (the one just faulted in for
+// the caller) are exempt — so a single fragment larger than the budget
+// still mines, it just lives alone. LRU here is approximate: lastUse
+// advances on load and pin, not on every Adj fast-path hit, keeping
+// the hot loop free of shared-counter traffic.
+func (s *shardSet) evictLocked(keep int) {
+	budget := s.budget.Load()
+	if budget == 0 {
+		return
+	}
+	for s.resident.Load() > budget {
+		victim, best := -1, uint64(0)
+		for i := range s.frags {
+			if i == keep || s.pins[i] != 0 || s.frags[i].Load() == nil {
+				continue
+			}
+			if victim == -1 || s.lastUse[i] < best {
+				victim, best = i, s.lastUse[i]
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		f := s.frags[victim].Load()
+		s.frags[victim].Store(nil)
+		s.resident.Add(^(f.Bytes() - 1)) // atomic subtract
+		s.evictions.Add(1)
+	}
+}
+
+// pin loads the shard owning v and holds it resident until release is
+// called. The engine pins the fragment of the task range it is
+// scanning; deeper traversal hops are served unpinned.
+func (s *shardSet) pin(v uint32) (lo, hi uint32, release func(), err error) {
+	si := s.owner(v)
+	s.mu.Lock()
+	f := s.requireLocked(si)
+	if f == nil {
+		err := s.err
+		s.mu.Unlock()
+		if err == nil {
+			err = errors.New("graph: shard load failed")
+		}
+		return 0, 0, nil, err
+	}
+	s.pins[si]++
+	s.mu.Unlock()
+	return s.lo[si], s.hiOf(si), func() {
+		s.mu.Lock()
+		s.pins[si]--
+		s.mu.Unlock()
+	}, nil
+}
+
+func (s *shardSet) setBudget(b uint64) {
+	s.budget.Store(b)
+	s.mu.Lock()
+	s.evictLocked(-1)
+	s.mu.Unlock()
+}
+
+func (s *shardSet) loadErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *shardSet) counters() ShardCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := ShardCounters{
+		Shards:        len(s.frags),
+		Loads:         s.loads.Load(),
+		Evictions:     s.evictions.Load(),
+		ResidentBytes: s.resident.Load(),
+	}
+	for i := range s.frags {
+		if s.frags[i].Load() != nil {
+			c.Resident++
+		}
+		if s.pins[i] != 0 {
+			c.Pinned++
+		}
+	}
+	return c
+}
+
+func (s *shardSet) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.frags {
+		s.frags[i].Store(nil)
+	}
+	s.resident.Store(0)
+}
+
+// LoadSharded opens the manifest at path and returns a sharded Graph.
+// No fragment is read yet; they fault in on first access and evict
+// under the budget set by SetShardBudget.
+func LoadSharded(path string) (*Graph, error) {
+	m, err := LoadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{sh: newShardSet(filepath.Dir(path), m)}, nil
+}
+
+// Sharded reports whether g routes through sharded storage.
+func (g *Graph) Sharded() bool { return g.sh != nil }
+
+// SetShardBudget bounds the bytes of resident shard fragments; 0 means
+// unlimited. Shrinking the budget evicts immediately. No-op for
+// non-sharded graphs.
+func (g *Graph) SetShardBudget(bytes uint64) {
+	if g.sh != nil {
+		g.sh.setBudget(bytes)
+	}
+}
+
+// ShardCounters snapshots fragment activity; ok is false for
+// non-sharded graphs.
+func (g *Graph) ShardCounters() (ShardCounters, bool) {
+	if g.sh == nil {
+		return ShardCounters{}, false
+	}
+	return g.sh.counters(), true
+}
+
+// PinShard pins the shard fragment owning v resident and returns its
+// owned range. For a non-sharded graph it trivially "pins" the whole
+// graph. release must be called exactly once.
+func (g *Graph) PinShard(v uint32) (lo, hi uint32, release func(), err error) {
+	if g.sh == nil {
+		return 0, g.NumVertices(), func() {}, nil
+	}
+	return g.sh.pin(v)
+}
+
+// ShardErr returns the sticky fragment load error, if any access has
+// failed. A poisoned sharded graph serves empty adjacency for the
+// failed range; the engine surfaces this error after the run.
+func (g *Graph) ShardErr() error {
+	if g.sh == nil {
+		return nil
+	}
+	return g.sh.loadErr()
+}
+
+// ShardedSource serves a sharded graph described by a manifest file.
+// Stat comes from the manifest alone; Load returns a lazy sharded
+// Graph whose fragments page in on demand.
+func ShardedSource(path string) Source { return &shardedSource{path: path} }
+
+type shardedSource struct {
+	path string
+
+	mu sync.Mutex
+	m  *Manifest // memoized parse; manifest files are write-once
+}
+
+func (s *shardedSource) manifest() (*Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		m, err := LoadManifest(s.path)
+		if err != nil {
+			return nil, err
+		}
+		s.m = m
+	}
+	return s.m, nil
+}
+
+func (s *shardedSource) Name() string { return "shard:" + s.path }
+
+func (s *shardedSource) Stat() (Stat, error) {
+	m, err := s.manifest()
+	if err != nil {
+		return Stat{}, err
+	}
+	return m.Stat, nil
+}
+
+func (s *shardedSource) Load() (*Graph, error) { return LoadSharded(s.path) }
+
+// Bytes sums the on-disk fragment sizes: the worst-case resident cost
+// of a load with no budget.
+func (s *shardedSource) Bytes() uint64 {
+	m, err := s.manifest()
+	if err != nil {
+		return 0
+	}
+	dir := filepath.Dir(s.path)
+	var total uint64
+	for _, sh := range m.Shards {
+		if fi, err := os.Stat(filepath.Join(dir, sh.File)); err == nil {
+			total += uint64(fi.Size())
+		}
+	}
+	return total
+}
+
+// ShardCount reports the number of shards in the manifest, 0 when the
+// manifest is unreadable. Used by registry listings for unloaded
+// sharded graphs.
+func (s *shardedSource) ShardCount() int {
+	m, err := s.manifest()
+	if err != nil {
+		return 0
+	}
+	return len(m.Shards)
+}
+
+// ShardCounter is implemented by sources that know their shard count
+// without a load.
+type ShardCounter interface {
+	ShardCount() int
+}

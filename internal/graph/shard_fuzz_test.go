@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadManifest drives the shard-manifest parser with arbitrary
+// bytes. ReadManifest must never panic; every accepted manifest must
+// carry intact invariants — contiguous ascending coverage of [0, V),
+// safe relative shard paths — and survive a write/read round trip
+// unchanged. Seed corpus under testdata/fuzz/FuzzReadManifest covers
+// the hardening cases: overlapping and out-of-order ranges, gaps,
+// truncated files, unsafe paths.
+func FuzzReadManifest(f *testing.F) {
+	for _, s := range []string{
+		"PGRSHARD 1\ngraph 10 3 0 0\nshard 0 4 a.pgr\nshard 4 10 b.pgr\n",
+		"PGRSHARD 1\ngraph 0 0 0 0\n",
+		"PGRSHARD 1\ngraph 10 3 5 1\nshard 0 10 a.pgr\n",
+		"PGRSHARD 2\ngraph 10 3 0 0\n",
+		"PGRSHARD 1\ngraph 10 3 0 0\nshard 4 10 b.pgr\nshard 0 4 a.pgr\n",
+		"PGRSHARD 1\ngraph 10 3 0 0\nshard 0 6 a.pgr\nshard 4 10 b.pgr\n",
+		"PGRSHARD 1\ngraph 10 3 0 0\nshard 0 4 a.pgr\n",
+		"PGRSHARD 1\ngraph 10 3 0 0\nshard 0 10 ../evil.pgr\n",
+		"PGRSHARD 1\ngraph 10 3 0 0\nshard 0 10 /abs.pgr\n",
+		"PGRSHARD 1\nshard 0 10 a.pgr\n",
+		"PGRSHARD 1\ngraph 10 3 0 0\nbogus line\n",
+		"PGRSHARD 1",
+		"",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadManifest(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		// Accepted: the invariants validateManifest promises must hold.
+		next := uint32(0)
+		files := make(map[string]bool)
+		for i, sh := range m.Shards {
+			if sh.Lo != next || sh.Hi <= sh.Lo {
+				t.Fatalf("shard %d range [%d,%d) breaks contiguity at %d\ninput: %q",
+					i, sh.Lo, sh.Hi, next, data)
+			}
+			if files[sh.File] {
+				t.Fatalf("duplicate shard file %q accepted\ninput: %q", sh.File, data)
+			}
+			files[sh.File] = true
+			if err := checkShardPath(sh.File); err != nil {
+				t.Fatalf("unsafe shard path %q accepted: %v", sh.File, err)
+			}
+			next = sh.Hi
+		}
+		if next != m.Stat.Vertices {
+			t.Fatalf("shards cover [0,%d), graph line says %d vertices\ninput: %q",
+				next, m.Stat.Vertices, data)
+		}
+		if m.Stat.Vertices > 0 && len(m.Shards) == 0 {
+			t.Fatalf("nonempty graph with no shards accepted\ninput: %q", data)
+		}
+
+		// Round trip: what the writer emits, the reader must accept and
+		// agree with (file names with whitespace can't have parsed).
+		var buf bytes.Buffer
+		if err := WriteManifest(&buf, m); err != nil {
+			t.Fatalf("WriteManifest rejected an accepted manifest: %v\ninput: %q", err, data)
+		}
+		m2, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nwritten: %q", err, buf.Bytes())
+		}
+		if m2.Stat != m.Stat || len(m2.Shards) != len(m.Shards) {
+			t.Fatalf("round trip changed manifest: %+v vs %+v", m2, m)
+		}
+		for i := range m.Shards {
+			if m2.Shards[i] != m.Shards[i] {
+				t.Fatalf("round trip changed shard %d: %+v vs %+v", i, m2.Shards[i], m.Shards[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,413 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// randomTestGraph builds a connected-ish random graph, optionally
+// labeled, for shard round-trip checks.
+func randomTestGraph(t *testing.T, n uint32, edges int, labels uint32, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for v := uint32(1); v < n; v++ {
+		b.AddEdge(v, uint32(rng.Intn(int(v)))) // spanning connectivity
+	}
+	for i := 0; i < edges; i++ {
+		b.AddEdge(uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n))))
+	}
+	if labels > 0 {
+		for v := uint32(0); v < n; v++ {
+			b.SetLabel(v, rng.Uint32()%labels)
+		}
+	}
+	return b.Build()
+}
+
+// checkShardedEquals asserts that sg answers every Graph accessor
+// identically to g — the union of the fragments IS the original CSR.
+func checkShardedEquals(t *testing.T, g, sg *Graph) {
+	t.Helper()
+	if sg.NumVertices() != g.NumVertices() || sg.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: V %d/%d, E %d/%d",
+			sg.NumVertices(), g.NumVertices(), sg.NumEdges(), g.NumEdges())
+	}
+	if sg.Labeled() != g.Labeled() || sg.NumLabels() != g.NumLabels() {
+		t.Fatalf("label shape mismatch")
+	}
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if !bytes.Equal(u32bytes(sg.Adj(v)), u32bytes(g.Adj(v))) {
+			t.Fatalf("Adj(%d): sharded %v != whole %v", v, sg.Adj(v), g.Adj(v))
+		}
+		if g.Labeled() && sg.Label(v) != g.Label(v) {
+			t.Fatalf("Label(%d): %d != %d", v, sg.Label(v), g.Label(v))
+		}
+		if sg.OrigID(v) != g.OrigID(v) {
+			t.Fatalf("OrigID(%d): %d != %d", v, sg.OrigID(v), g.OrigID(v))
+		}
+	}
+}
+
+func u32bytes(s []uint32) []byte {
+	out := make([]byte, 0, 4*len(s))
+	for _, v := range s {
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return out
+}
+
+func TestSplitGraphUnionReconstructsOriginal(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		labels uint32
+	}{{"unlabeled", 0}, {"labeled", 7}} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := randomTestGraph(t, 500, 2000, tc.labels, 42)
+			for _, shards := range []int{1, 3, 4, 7} {
+				frags := SplitGraph(g, shards)
+				if len(frags) != shards {
+					t.Fatalf("SplitGraph(%d) returned %d fragments", shards, len(frags))
+				}
+				// Fragments cover [0, n) contiguously and agree with the
+				// original adjacency on every owned vertex.
+				next := uint32(0)
+				var adjTotal uint64
+				for _, f := range frags {
+					if f.Lo != next {
+						t.Fatalf("fragment starts at %d, want %d", f.Lo, next)
+					}
+					for v := f.Lo; v < f.Hi(); v++ {
+						if !bytes.Equal(u32bytes(f.Adj(v)), u32bytes(g.Adj(v))) {
+							t.Fatalf("shards=%d Adj(%d) mismatch", shards, v)
+						}
+					}
+					adjTotal += uint64(len(f.Adj(f.Lo))) // touch; real total below
+					next = f.Hi()
+				}
+				if next != g.NumVertices() {
+					t.Fatalf("fragments cover [0,%d), want [0,%d)", next, g.NumVertices())
+				}
+			}
+		})
+	}
+}
+
+func TestSaveShardedRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		labels uint32
+	}{{"unlabeled", 0}, {"labeled", 5}} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := randomTestGraph(t, 300, 1200, tc.labels, 7)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "g.manifest")
+			m, err := SaveSharded(path, g, 4)
+			if err != nil {
+				t.Fatalf("SaveSharded: %v", err)
+			}
+			if len(m.Shards) != 4 {
+				t.Fatalf("manifest has %d shards, want 4", len(m.Shards))
+			}
+			sg, err := LoadSharded(path)
+			if err != nil {
+				t.Fatalf("LoadSharded: %v", err)
+			}
+			defer sg.Close()
+			if !sg.Sharded() {
+				t.Fatalf("loaded graph not sharded")
+			}
+			checkShardedEquals(t, g, sg)
+
+			// The auto-detecting source path must find the manifest too.
+			src, err := OpenPath(path)
+			if err != nil {
+				t.Fatalf("OpenPath: %v", err)
+			}
+			st, err := src.Stat()
+			if err != nil {
+				t.Fatalf("Stat: %v", err)
+			}
+			if st.Vertices != g.NumVertices() || st.Edges != g.NumEdges() {
+				t.Fatalf("source stat %+v disagrees with graph", st)
+			}
+			if sc, ok := src.(ShardCounter); !ok || sc.ShardCount() != 4 {
+				t.Fatalf("source shard count probe failed")
+			}
+		})
+	}
+}
+
+func TestShardBudgetEvictsAndReloads(t *testing.T) {
+	g := randomTestGraph(t, 400, 1600, 0, 11)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.manifest")
+	if _, err := SaveSharded(path, g, 8); err != nil {
+		t.Fatalf("SaveSharded: %v", err)
+	}
+	sg, err := LoadSharded(path)
+	if err != nil {
+		t.Fatalf("LoadSharded: %v", err)
+	}
+	defer sg.Close()
+
+	// Budget of one fragment's worth: a full scan must page every
+	// fragment in and evict along the way, yet answer identically.
+	frags := SplitGraph(g, 8)
+	sg.SetShardBudget(frags[0].Bytes() + 1)
+	checkShardedEquals(t, g, sg)
+	c, ok := sg.ShardCounters()
+	if !ok {
+		t.Fatalf("ShardCounters not available")
+	}
+	if c.Shards != 8 || c.Loads < 8 {
+		t.Fatalf("counters %+v: want 8 shards all loaded", c)
+	}
+	if c.Evictions == 0 {
+		t.Fatalf("counters %+v: want evictions > 0 under a one-fragment budget", c)
+	}
+	if c.Resident >= 8 {
+		t.Fatalf("counters %+v: want fewer resident fragments than total", c)
+	}
+
+	// Pinning keeps a fragment resident through pressure from the rest.
+	lo, hi, release, err := sg.PinShard(0)
+	if err != nil {
+		t.Fatalf("PinShard: %v", err)
+	}
+	if lo != 0 || hi == 0 {
+		t.Fatalf("PinShard range [%d,%d)", lo, hi)
+	}
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		_ = sg.Adj(v) // churn every other fragment through the budget
+	}
+	if got := sg.Adj(0); !bytes.Equal(u32bytes(got), u32bytes(g.Adj(0))) {
+		t.Fatalf("pinned fragment answered wrong adjacency")
+	}
+	release()
+	release() // idempotent
+}
+
+func TestShardScanConcurrentChurn(t *testing.T) {
+	g := randomTestGraph(t, 600, 3000, 3, 5)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.manifest")
+	if _, err := SaveSharded(path, g, 6); err != nil {
+		t.Fatalf("SaveSharded: %v", err)
+	}
+	sg, err := LoadSharded(path)
+	if err != nil {
+		t.Fatalf("LoadSharded: %v", err)
+	}
+	defer sg.Close()
+	frags := SplitGraph(g, 6)
+	sg.SetShardBudget(2*frags[0].Bytes() + 1)
+
+	// Concurrent full scans from different starting shards force
+	// load/evict races; every reader must still see the exact CSR.
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := g.NumVertices()
+			start := uint32(w) * n / 8
+			for i := uint32(0); i < n; i++ {
+				v := (start + i) % n
+				if !bytes.Equal(u32bytes(sg.Adj(v)), u32bytes(g.Adj(v))) {
+					errs <- fmt.Sprintf("worker %d: Adj(%d) mismatch", w, v)
+					return
+				}
+				if sg.Label(v) != g.Label(v) {
+					errs <- fmt.Sprintf("worker %d: Label(%d) mismatch", w, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if err := sg.ShardErr(); err != nil {
+		t.Fatalf("ShardErr: %v", err)
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	valid := func() *Manifest {
+		return &Manifest{
+			Stat: Stat{Vertices: 10, Edges: 3},
+			Shards: []ShardInfo{
+				{Lo: 0, Hi: 4, File: "a.pgr"},
+				{Lo: 4, Hi: 10, File: "b.pgr"},
+			},
+		}
+	}
+	if err := validateManifest(valid()); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Manifest)
+	}{
+		{"gap", func(m *Manifest) { m.Shards[1].Lo = 5 }},
+		{"overlap", func(m *Manifest) { m.Shards[1].Lo = 3 }},
+		{"empty range", func(m *Manifest) { m.Shards[0].Hi = 0 }},
+		{"short coverage", func(m *Manifest) { m.Shards[1].Hi = 9 }},
+		{"over coverage", func(m *Manifest) { m.Shards[1].Hi = 11 }},
+		{"absolute path", func(m *Manifest) { m.Shards[0].File = "/etc/passwd" }},
+		{"dotdot path", func(m *Manifest) { m.Shards[0].File = "../a.pgr" }},
+		{"duplicate file", func(m *Manifest) { m.Shards[1].File = "a.pgr" }},
+		{"empty file", func(m *Manifest) { m.Shards[0].File = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := valid()
+			tc.mut(m)
+			if err := validateManifest(m); err == nil {
+				t.Fatalf("validateManifest accepted %s", tc.name)
+			}
+			var buf bytes.Buffer
+			if err := WriteManifest(&buf, m); err == nil {
+				t.Fatalf("WriteManifest accepted %s", tc.name)
+			}
+		})
+	}
+
+	// Read-side strictness: out-of-order shard lines are rejected even
+	// though sorting could "fix" them — a scrambled manifest is corrupt.
+	scrambled := "PGRSHARD 1\ngraph 10 3 0 0\nshard 4 10 b.pgr\nshard 0 4 a.pgr\n"
+	if _, err := ReadManifest(strings.NewReader(scrambled)); err == nil {
+		t.Fatalf("ReadManifest accepted out-of-order shards")
+	}
+	truncated := "PGRSHARD 1\ngraph 10 3 0 0\nshard 0 4 a.pgr\n"
+	if _, err := ReadManifest(strings.NewReader(truncated)); err == nil {
+		t.Fatalf("ReadManifest accepted truncated coverage")
+	}
+}
+
+func TestManifestWriteReadRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Stat: Stat{Vertices: 100, Edges: 250, Labels: 5, Labeled: true},
+		Shards: []ShardInfo{
+			{Lo: 0, Hi: 30, File: "x.shard0.pgr"},
+			{Lo: 30, Hi: 100, File: "x.shard1.pgr"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	got, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if got.Stat != m.Stat || len(got.Shards) != len(m.Shards) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	for i := range m.Shards {
+		if got.Shards[i] != m.Shards[i] {
+			t.Fatalf("shard %d mismatch: %+v vs %+v", i, got.Shards[i], m.Shards[i])
+		}
+	}
+}
+
+func TestFragmentRejectedByPlainLoaders(t *testing.T) {
+	g := randomTestGraph(t, 100, 300, 0, 3)
+	frags := SplitGraph(g, 2)
+	var buf bytes.Buffer
+	if err := WriteFragment(&buf, frags[0]); err != nil {
+		t.Fatalf("WriteFragment: %v", err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatalf("ReadBinary accepted a shard fragment")
+	}
+	fragPath := filepath.Join(t.TempDir(), "frag.pgr")
+	if err := os.WriteFile(fragPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("write fragment: %v", err)
+	}
+	if _, err := StatBinary(fragPath); err == nil {
+		t.Fatalf("StatBinary accepted a shard fragment")
+	}
+	if _, err := LoadBinary(fragPath); err == nil {
+		t.Fatalf("LoadBinary accepted a shard fragment")
+	}
+	// And the fragment reader rejects whole graphs.
+	var whole bytes.Buffer
+	if err := WriteBinary(&whole, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if _, err := ReadFragment(bytes.NewReader(whole.Bytes())); err == nil {
+		t.Fatalf("ReadFragment accepted a whole-graph .pgr")
+	}
+}
+
+func TestFragmentFileRoundTrip(t *testing.T) {
+	g := randomTestGraph(t, 120, 500, 9, 13)
+	frags := SplitGraph(g, 3)
+	dir := t.TempDir()
+	for i, f := range frags {
+		path := filepath.Join(dir, fmt.Sprintf("f%d.pgr", i))
+		if err := SaveFragment(path, f); err != nil {
+			t.Fatalf("SaveFragment: %v", err)
+		}
+		got, err := LoadFragment(path)
+		if err != nil {
+			t.Fatalf("LoadFragment: %v", err)
+		}
+		if got.Lo != f.Lo || got.Total != f.Total || got.Owned() != f.Owned() {
+			t.Fatalf("fragment %d shape mismatch", i)
+		}
+		for v := f.Lo; v < f.Hi(); v++ {
+			if !bytes.Equal(u32bytes(got.Adj(v)), u32bytes(f.Adj(v))) {
+				t.Fatalf("fragment %d Adj(%d) mismatch", i, v)
+			}
+			if got.Label(v) != f.Label(v) || got.OrigIDOf(v) != f.OrigIDOf(v) {
+				t.Fatalf("fragment %d labels/origID mismatch at %d", i, v)
+			}
+		}
+	}
+}
+
+func TestShardSetSurfacesMissingFragment(t *testing.T) {
+	g := randomTestGraph(t, 200, 600, 0, 17)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.manifest")
+	m, err := SaveSharded(path, g, 4)
+	if err != nil {
+		t.Fatalf("SaveSharded: %v", err)
+	}
+	// Truncate one fragment file after the manifest was written.
+	victim := filepath.Join(dir, m.Shards[2].File)
+	if err := os.Truncate(victim, 10); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	sg, err := LoadSharded(path)
+	if err != nil {
+		t.Fatalf("LoadSharded: %v", err)
+	}
+	defer sg.Close()
+	// Shards 0 and 1 still answer; shard 2 poisons the set.
+	_ = sg.Adj(0)
+	if sg.ShardErr() != nil {
+		t.Fatalf("healthy shard poisoned the set: %v", sg.ShardErr())
+	}
+	if adj := sg.Adj(m.Shards[2].Lo); adj != nil {
+		t.Fatalf("broken shard returned adjacency %v", adj)
+	}
+	if sg.ShardErr() == nil {
+		t.Fatalf("broken fragment did not surface through ShardErr")
+	}
+	if _, _, _, err := sg.PinShard(m.Shards[2].Lo); err == nil {
+		t.Fatalf("PinShard succeeded on a broken fragment")
+	}
+}

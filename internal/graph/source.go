@@ -160,8 +160,9 @@ func (s binarySource) Bytes() uint64 {
 	return uint64(fi.Size())
 }
 
-// FileSource serves a graph file in either supported format, sniffing
-// the .pgr magic on each use. Detection is deferred to use — not done
+// FileSource serves a graph file in any supported format — .pgr
+// binary, shard manifest, or text edge list — sniffing the magic
+// bytes on each use. Detection is deferred to use — not done
 // once at registration — so a file that appears, changes format, or
 // recovers from a transient read failure behaves like any other lazy
 // load instead of being frozen by a stale sniff.
@@ -178,6 +179,13 @@ func (s fileSource) resolve() (Source, error) {
 	}
 	if bin {
 		return BinarySource(s.path), nil
+	}
+	sharded, err := SniffManifest(s.path)
+	if err != nil {
+		return nil, err
+	}
+	if sharded {
+		return ShardedSource(s.path), nil
 	}
 	return EdgeListSource(s.path), nil
 }
@@ -198,6 +206,19 @@ func (s fileSource) Load() (*Graph, error) {
 	return r.Load()
 }
 
+// ShardCount implements ShardCounter: a path currently holding a shard
+// manifest reports its shard count, anything else 0.
+func (s fileSource) ShardCount() int {
+	r, err := s.resolve()
+	if err != nil {
+		return 0
+	}
+	if sc, ok := r.(ShardCounter); ok {
+		return sc.ShardCount()
+	}
+	return 0
+}
+
 func (s fileSource) Bytes() uint64 {
 	r, err := s.resolve()
 	if err != nil {
@@ -207,9 +228,9 @@ func (s fileSource) Bytes() uint64 {
 }
 
 // OpenPath opens path as a graph Source, detecting the format eagerly:
-// a .pgr magic selects the binary source, anything else the edge-list
-// parser. Unlike FileSource, an unreadable path fails here rather than
-// at first load.
+// a .pgr magic selects the binary source, a shard-manifest magic the
+// sharded source, anything else the edge-list parser. Unlike
+// FileSource, an unreadable path fails here rather than at first load.
 func OpenPath(path string) (Source, error) {
 	if _, err := os.Stat(path); err != nil {
 		return nil, fmt.Errorf("graph: %w", err)

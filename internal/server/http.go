@@ -156,9 +156,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// graph once per merged batch, and the job's context cancellation
 	// detaches just this request from its batch (co-batched requests
 	// are unaffected). A per-request Threads bound can't be honored by
-	// a shared traversal, so such requests keep the direct path.
+	// a shared traversal, so such requests keep the direct path — as do
+	// task-ranged requests (a merged batch runs one task range; fanned
+	// per-shard jobs carry different ones).
 	var run func(ctx context.Context) (*Result, error)
-	if req.Kind == KindCount && req.Threads == 0 && s.coalescer.Enabled() {
+	if req.Kind == KindCount && req.Threads == 0 && !req.taskRanged() && s.coalescer.Enabled() {
 		run = func(ctx context.Context) (*Result, error) {
 			return s.coalescer.Do(ctx, q)
 		}

@@ -61,7 +61,19 @@ type Request struct {
 	// Wait makes POST /v1/query block until the job finishes and return
 	// the terminal snapshot instead of responding 202 immediately.
 	Wait bool `json:"wait,omitempty"`
+	// TaskLo/TaskHi restrict the run to start vertices in [taskLo,
+	// taskHi) — the distribution primitive: disjoint ranges' counts sum
+	// to the whole-graph counts, so a coordinator fans one query out as
+	// per-shard ranged jobs and adds the answers. taskHi 0 means "to the
+	// end". Ranged count queries run without pattern morphing (recovery
+	// is only valid over the whole task space) and bypass cross-request
+	// coalescing (merged batches must share one range).
+	TaskLo uint32 `json:"taskLo,omitempty"`
+	TaskHi uint32 `json:"taskHi,omitempty"`
 }
+
+// taskRanged reports whether the request restricts its task range.
+func (r Request) taskRanged() bool { return r.TaskLo != 0 || r.TaskHi != 0 }
 
 // PatternCount is one per-pattern row of a batched count result.
 type PatternCount struct {
@@ -110,6 +122,33 @@ type RunStats struct {
 	// figures above (tasks, matchMicros, sharing) describe the merged
 	// batch execution, not this request alone.
 	Coalescing *CoalescingStats `json:"coalescing,omitempty"`
+	// Sharding is present when the run scanned a sharded graph:
+	// fragment loads and budget evictions during this run, and the
+	// fragment bytes resident when it finished. Evictions > 0 means the
+	// run executed out of core.
+	Sharding *ShardingStats `json:"sharding,omitempty"`
+}
+
+// ShardingStats is the JSON rendering of core.ShardScanStats.
+type ShardingStats struct {
+	Shards        int    `json:"shards"`
+	Loads         uint64 `json:"loads"`
+	Evictions     uint64 `json:"evictions"`
+	ResidentBytes uint64 `json:"residentBytes"`
+}
+
+// shardingStats renders a run's shard-scan telemetry, or nil when the
+// graph was not sharded (so the field is omitted from the JSON).
+func shardingStats(ms peregrine.MultiStats) *ShardingStats {
+	if ms.Shards == nil {
+		return nil
+	}
+	return &ShardingStats{
+		Shards:        ms.Shards.Shards,
+		Loads:         ms.Shards.Loads,
+		Evictions:     ms.Shards.Evictions,
+		ResidentBytes: ms.Shards.ResidentBytes,
+	}
 }
 
 // SharingStats is the JSON rendering of core.ShareStats: how much of a
@@ -173,6 +212,7 @@ func (q *compiledQuery) multiStats(ms peregrine.MultiStats) *RunStats {
 			IntersectionsSaved: ms.Share.IntersectionsSaved,
 		},
 		Morphing: morphingStats(ms),
+		Sharding: shardingStats(ms),
 	}
 	for _, s := range ms.Per {
 		agg.CoreMatches += s.CoreMatches
@@ -200,6 +240,7 @@ func (q *compiledQuery) coalescedResult(per []peregrine.Stats, ms peregrine.Mult
 		},
 		Morphing:   morphingStats(ms),
 		Coalescing: cs,
+		Sharding:   shardingStats(ms),
 	}
 	res := &Result{Stats: st}
 	for _, s := range per {
@@ -253,6 +294,9 @@ func compile(req Request, plans *peregrine.PlanCache) (*compiledQuery, error) {
 		if req.Kind == KindMatches && len(texts) > 1 && !req.Stream {
 			return nil, fmt.Errorf("buffered matches queries take one pattern; set \"stream\": true for a multi-pattern match stream")
 		}
+		if req.TaskHi != 0 && req.TaskHi <= req.TaskLo {
+			return nil, fmt.Errorf("taskHi (%d) must exceed taskLo (%d); 0 means to the end", req.TaskHi, req.TaskLo)
+		}
 		planStart := time.Now()
 		pats := make([]*pattern.Pattern, len(texts))
 		for i, text := range texts {
@@ -294,6 +338,9 @@ func compile(req Request, plans *peregrine.PlanCache) (*compiledQuery, error) {
 		if req.Pattern != "" || len(req.Patterns) > 0 || req.Stream {
 			return nil, fmt.Errorf("fsm queries take no patterns and no stream")
 		}
+		if req.taskRanged() {
+			return nil, fmt.Errorf("fsm queries do not support task ranges (support counting needs the whole graph)")
+		}
 		if req.MaxEdges < 1 {
 			return nil, fmt.Errorf("fsm requires maxEdges >= 1")
 		}
@@ -317,6 +364,9 @@ func (q *compiledQuery) options(ctx context.Context) []peregrine.Option {
 	}
 	if q.req.NoSymmetryBreaking {
 		opts = append(opts, peregrine.WithoutSymmetryBreaking())
+	}
+	if q.req.taskRanged() {
+		opts = append(opts, peregrine.WithTaskRange(q.req.TaskLo, q.req.TaskHi))
 	}
 	return opts
 }

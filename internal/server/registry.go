@@ -37,6 +37,17 @@ type GraphInfo struct {
 	// Pinned counts in-flight queries holding the graph; a pinned
 	// graph is never evicted by the memory budget.
 	Pinned int `json:"pinned,omitempty"`
+
+	// Shard-aware counters, present only for manifest-backed sharded
+	// graphs: the manifest's shard count, plus — when loaded — the
+	// fragments currently resident/pinned and the cumulative fragment
+	// loads and budget evictions, so out-of-core churn is observable
+	// per graph.
+	Shards         int    `json:"shards,omitempty"`
+	ShardsResident int    `json:"shardsResident,omitempty"`
+	ShardsPinned   int    `json:"shardsPinned,omitempty"`
+	ShardLoads     uint64 `json:"shardLoads,omitempty"`
+	ShardEvictions uint64 `json:"shardEvictions,omitempty"`
 }
 
 // graphEntry is one named graph behind its Source. The Source is the
@@ -60,6 +71,7 @@ type graphEntry struct {
 	stat     *graph.Stat // memoized successful src.Stat
 	noStat   bool        // src.Stat returned ErrNoStat; stop re-probing
 	srcBytes uint64      // memoized src.Bytes pre-load size estimate
+	shards   int         // memoized manifest shard count (-1: probed, not sharded)
 	loads    uint64      // completed loads, observable via LoadCount
 }
 
@@ -98,6 +110,13 @@ func (r *Registry) SetMaxBytes(n uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.maxBytes = n
+	// Loaded sharded graphs bound their resident fragments with the
+	// same budget; keep them in step.
+	for _, e := range r.entries {
+		if e.g != nil && e.g.Sharded() {
+			e.g.SetShardBudget(n)
+		}
+	}
 	r.evictLocked()
 }
 
@@ -233,6 +252,13 @@ func (r *Registry) load(e *graphEntry) (*graph.Graph, error) {
 	}
 	st := graph.StatOf(g)
 	r.mu.Lock()
+	// A sharded graph pages fragments under its own byte budget — the
+	// same budget the registry enforces across whole graphs. Entry
+	// bytes stay at the (initially zero) resident-fragment size; the
+	// shard budget, not registry eviction, bounds its growth.
+	if g.Sharded() {
+		g.SetShardBudget(r.maxBytes)
+	}
 	e.g = g
 	e.stat = &st
 	e.loads++
@@ -332,6 +358,29 @@ func (r *Registry) Counters() (registered, loaded, pinned int, resident uint64) 
 	return registered, loaded, pinned, r.resident
 }
 
+// ShardCounters aggregates fragment activity across every loaded
+// sharded graph for GET /v1/stats: total shards, fragments resident
+// and pinned right now, and cumulative fragment loads and budget
+// evictions. All zeros when no sharded graph is resident.
+func (r *Registry) ShardCounters() (c graph.ShardCounters) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.entries {
+		if e.g == nil {
+			continue
+		}
+		if sc, ok := e.g.ShardCounters(); ok {
+			c.Shards += sc.Shards
+			c.Resident += sc.Resident
+			c.Pinned += sc.Pinned
+			c.Loads += sc.Loads
+			c.Evictions += sc.Evictions
+			c.ResidentBytes += sc.ResidentBytes
+		}
+	}
+	return c
+}
+
 // LoadCount returns how many times name's source has been loaded —
 // observability for eviction/reload behavior (and its tests).
 func (r *Registry) LoadCount(name string) uint64 {
@@ -349,9 +398,10 @@ func (r *Registry) LoadCount(name string) uint64 {
 // stall queries.
 func (r *Registry) List() []GraphInfo {
 	type probe struct {
-		e        *graphEntry
-		info     GraphInfo
-		needStat bool // no memoized stat; probe the source once
+		e          *graphEntry
+		info       GraphInfo
+		needStat   bool // no memoized stat; probe the source once
+		needShards bool // sharded source with no memoized shard count
 	}
 	r.mu.Lock()
 	probes := make([]probe, 0, len(r.entries))
@@ -360,18 +410,34 @@ func (r *Registry) List() []GraphInfo {
 		if e.g != nil {
 			info.Loaded = true
 			info.Bytes = e.bytes
+			if sc, ok := e.g.ShardCounters(); ok {
+				e.shards = sc.Shards
+				info.Shards = sc.Shards
+				info.ShardsResident = sc.Resident
+				info.ShardsPinned = sc.Pinned
+				info.ShardLoads = sc.Loads
+				info.ShardEvictions = sc.Evictions
+				// A sharded entry's registry bytes stay 0 (fragments live
+				// under the shard budget); report what is resident now.
+				info.Bytes = sc.ResidentBytes
+			}
 		} else {
 			info.Bytes = e.srcBytes
+			if e.shards > 0 {
+				info.Shards = e.shards
+			}
 		}
 		if st := e.stat; st != nil {
 			info.Vertices = st.Vertices
 			info.Edges = st.Edges
 			info.Labels = st.Labels
 		}
+		_, sharded := e.src.(graph.ShardCounter)
 		probes = append(probes, probe{
-			e:        e,
-			info:     info,
-			needStat: e.stat == nil && !e.noStat && e.g == nil,
+			e:          e,
+			info:       info,
+			needStat:   e.stat == nil && !e.noStat && e.g == nil,
+			needShards: sharded && e.shards == 0 && e.g == nil,
 		})
 	}
 	r.mu.Unlock()
@@ -404,6 +470,26 @@ func (r *Registry) List() []GraphInfo {
 			}
 			// Other errors (transient I/O) stay unmemoized: retry on
 			// the next listing.
+		}
+		if p.needShards {
+			// A manifest-backed source knows its shard count without a
+			// load; the probe result — including "not sharded" — is
+			// memoized so polled listings don't re-sniff every file.
+			if sc, ok := p.e.src.(graph.ShardCounter); ok {
+				n := sc.ShardCount()
+				if n > 0 {
+					p.info.Shards = n
+				}
+				r.mu.Lock()
+				if p.e.shards == 0 {
+					if n > 0 {
+						p.e.shards = n
+					} else {
+						p.e.shards = -1
+					}
+				}
+				r.mu.Unlock()
+			}
 		}
 		out = append(out, p.info)
 	}

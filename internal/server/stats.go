@@ -79,6 +79,18 @@ type ServerStats struct {
 	GraphsLoaded          int    `json:"graphsLoaded"`
 	GraphsPinned          int    `json:"graphsPinned"`
 	RegistryResidentBytes uint64 `json:"registryResidentBytes"`
+
+	// Shard gauges and totals, summed over every loaded sharded graph.
+	// ShardsTotal/ShardsResident/ShardsPinned are point-in-time;
+	// ShardLoads/ShardEvictions are cumulative per loaded instance, so
+	// loads > total shards means fragments were reloaded after budget
+	// eviction — the signature of out-of-core operation.
+	ShardsTotal         int    `json:"shardsTotal"`
+	ShardsResident      int    `json:"shardsResident"`
+	ShardsPinned        int    `json:"shardsPinned"`
+	ShardLoads          uint64 `json:"shardLoads"`
+	ShardEvictions      uint64 `json:"shardEvictions"`
+	ShardsResidentBytes uint64 `json:"shardsResidentBytes"`
 }
 
 // Stats assembles the server-wide counter snapshot.
@@ -112,5 +124,13 @@ func (s *Server) Stats() ServerStats {
 	st.PlanCacheEntries = s.plans.Len()
 
 	st.GraphsRegistered, st.GraphsLoaded, st.GraphsPinned, st.RegistryResidentBytes = s.registry.Counters()
+
+	sc := s.registry.ShardCounters()
+	st.ShardsTotal = sc.Shards
+	st.ShardsResident = sc.Resident
+	st.ShardsPinned = sc.Pinned
+	st.ShardLoads = sc.Loads
+	st.ShardEvictions = sc.Evictions
+	st.ShardsResidentBytes = sc.ResidentBytes
 	return st
 }

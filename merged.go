@@ -66,14 +66,22 @@ func CountEachMerged(g *Graph, queries []*PreparedQuery, opts ...Option) ([][]St
 	// shape — and MultiStats.Morph reports the rewrite. A batch touched
 	// by a no-symmetry-breaking query runs as given: its counts are
 	// per-automorphism enumerations the recovery algebra does not cover.
-	if !cfg.noMorph && !anyNoSym {
+	// Task-ranged executions also run as given: morph recovery is only
+	// valid over the whole task space (see WithTaskRange).
+	if !cfg.noMorph && !anyNoSym && !cfg.taskRanged() {
 		if mp := plan.MorphBatch(plans, cfg.cache(), cfg.planOptions()); mp != nil {
 			ms := core.RunPlans(g, mp.Exec, nil, cfg.opts)
 			_, ms = recoverCounts(ms, mp)
+			if ms.Err != nil {
+				return nil, ms, ms.Err
+			}
 			return demuxMerged(queries, slot, ms), ms, nil
 		}
 	}
 	ms := core.RunPlans(g, plans, nil, cfg.opts)
+	if ms.Err != nil {
+		return nil, ms, ms.Err
+	}
 	return demuxMerged(queries, slot, ms), ms, nil
 }
 

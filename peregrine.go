@@ -190,6 +190,21 @@ func WithoutSharing() Option { return func(c *config) { c.opts.NoSharing = true 
 // MultiStats.Morph is measured against, mirroring WithoutSharing.
 func WithoutMorphing() Option { return func(c *config) { c.noMorph = true } }
 
+// WithTaskRange restricts the exploration to mining tasks whose start
+// vertex lies in [lo, hi); hi == 0 means NumVertices. Every match is
+// rooted at exactly one task (its maximum-id core vertex), so counts
+// from disjoint ranges sum to the full-graph count exactly — the
+// partitioning seam sharded and distributed execution fan out over.
+//
+// Ranged counting executions run without pattern morphing: a pattern
+// and its morphed relatives can have different cores, so the same
+// vertex set roots at different tasks and the recovery algebra only
+// balances over the whole graph. Sharing and symmetry breaking apply
+// unchanged.
+func WithTaskRange(lo, hi uint32) Option {
+	return func(c *config) { c.opts.TaskLo, c.opts.TaskHi = lo, hi }
+}
+
 // WithDeadline bounds the exploration's wall time: past the deadline the
 // engine stops as if Ctx.Stop had been called and Stats.Stopped reports
 // the truncation. Useful for existence queries whose negative answers
@@ -227,6 +242,12 @@ func (c config) cache() *plan.Cache {
 // planOptions renders the config's plan-affecting settings.
 func (c config) planOptions() plan.Options {
 	return plan.Options{NoSymmetryBreaking: c.opts.NoSymmetryBreaking}
+}
+
+// taskRanged reports whether the execution scans a sub-range of the
+// task space; morphing is disabled for such runs (see WithTaskRange).
+func (c config) taskRanged() bool {
+	return c.opts.TaskLo != 0 || c.opts.TaskHi != 0
 }
 
 func (c config) pattern(p *Pattern) *Pattern {

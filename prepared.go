@@ -237,7 +237,8 @@ func (q *PreparedQuery) ForEach(g *Graph, f func(ctx *Ctx, pat int, m *Match), o
 	if err != nil {
 		return MultiStats{}, err
 	}
-	return core.RunPlans(g, plansOf(pps), adaptCallback(pps, c.opts.Threads, f), c.opts), nil
+	ms := core.RunPlans(g, plansOf(pps), adaptCallback(pps, c.opts.Threads, f), c.opts)
+	return ms, ms.Err
 }
 
 // CountEach returns per-pattern match counts, in pattern order, from a
@@ -264,11 +265,14 @@ func (q *PreparedQuery) CountEachWithStats(g *Graph, opts ...Option) ([]uint64, 
 		return nil, MultiStats{}, err
 	}
 	plans := plansOf(pps)
-	if !c.noMorph {
+	// Morph recovery is only valid over the whole task space; ranged
+	// executions (sharded/distributed partitions) run the batch as
+	// given. See WithTaskRange.
+	if !c.noMorph && !c.taskRanged() {
 		if mp := plan.MorphBatch(plans, c.cache(), c.planOptions()); mp != nil {
 			ms := core.RunPlans(g, mp.Exec, nil, c.opts)
 			counts, ms := recoverCounts(ms, mp)
-			return counts, ms, nil
+			return counts, ms, ms.Err
 		}
 	}
 	ms := core.RunPlans(g, plans, nil, c.opts)
@@ -276,7 +280,7 @@ func (q *PreparedQuery) CountEachWithStats(g *Graph, opts ...Option) ([]uint64, 
 	for i := range ms.Per {
 		counts[i] = ms.Per[i].Matches
 	}
-	return counts, ms, nil
+	return counts, ms, ms.Err
 }
 
 // recoverCounts rewrites a morphed execution's statistics onto the

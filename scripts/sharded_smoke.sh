@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Sharded + distributed serving smoke (CI), in two stages over the same
+# 4-shard patents-lite manifest written by gengraph:
+#
+#   Stage 1 — out-of-core + failover. Two peregrine-serve nodes run
+#   under a byte budget smaller than the fragment set, so full scans
+#   must evict fragments mid-query. The coordinator's merged counts
+#   must equal a single node's whole-graph counts, before AND after one
+#   node is killed mid-fleet (per-shard failover to the replica).
+#
+#   Stage 2 — serving benchmark. Fresh uncapped nodes + coordinator:
+#   peregrine-loadgen drives the coordinator and writes
+#   BENCH_sharded.json next to BENCH_serving.json. A budget that
+#   thrashes is a correctness demo, not a serving configuration, so the
+#   benchmark stage runs with the whole graph resident.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+NODE_A=18081
+NODE_B=18082
+COORD=18090
+PATTERNS='["0-1 1-2 2-0","0-1 0-2 0-3"]'
+
+say() { echo "sharded_smoke: $*" >&2; }
+
+wait_healthy() { # url
+  for _ in $(seq 1 50); do
+    if curl -sf "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  say "$1 never became healthy"
+  return 1
+}
+
+# count <base-url> — run the fixed two-pattern count, print total count
+count() {
+  curl -sf -X POST "$1/v1/query" \
+    -d "{\"graph\":\"patents\",\"kind\":\"count\",\"patterns\":$PATTERNS,\"wait\":true}" \
+    | grep -o '"count":[0-9]*' | head -1 | cut -d: -f2
+}
+
+start_node() { # port [extra serve flags...]
+  local port=$1
+  shift
+  "$WORK/bin/peregrine-serve" -addr "127.0.0.1:$port" \
+    -graph "patents=$WORK/patents.manifest" "$@" &
+  PIDS+=($!)
+  wait_healthy "http://127.0.0.1:$port"
+}
+
+start_coord() {
+  "$WORK/bin/peregrine-coord" -addr "127.0.0.1:$COORD" -graph patents \
+    -manifest "$WORK/patents.manifest" \
+    -node "http://127.0.0.1:$NODE_A" -node "http://127.0.0.1:$NODE_B" &
+  PIDS+=($!)
+  wait_healthy "http://127.0.0.1:$COORD"
+}
+
+stop_all() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  PIDS=()
+}
+
+say "building binaries"
+go build -o "$WORK/bin/" ./cmd/gengraph ./cmd/peregrine-serve ./cmd/peregrine-coord ./cmd/peregrine-loadgen
+
+say "writing 4-shard patents-lite manifest"
+"$WORK/bin/gengraph" -dataset patents-lite -shards 4 -o "$WORK/patents.manifest"
+
+# ---- Stage 1: out-of-core + failover ------------------------------------
+# ~350K budget vs ~420K of fragments: at most three of the four can be
+# resident at once, so full scans must evict to finish.
+say "stage 1: starting two budgeted serve nodes + coordinator"
+start_node "$NODE_A" -max-graph-bytes 350K
+start_node "$NODE_B" -max-graph-bytes 350K
+start_coord
+
+say "comparing merged counts against a single node"
+SINGLE=$(count "http://127.0.0.1:$NODE_A")
+MERGED=$(count "http://127.0.0.1:$COORD")
+say "single-node count=$SINGLE merged count=$MERGED"
+if [ -z "$SINGLE" ] || [ "$SINGLE" != "$MERGED" ]; then
+  say "FAIL: merged counts diverge from single node"
+  exit 1
+fi
+
+say "checking the nodes ran out of core (shard evictions > 0)"
+EVICTIONS=$(curl -sf "http://127.0.0.1:$NODE_A/v1/stats" \
+  | grep -o '"shardEvictions":[0-9]*' | cut -d: -f2)
+say "node A shardEvictions=$EVICTIONS"
+if [ -z "$EVICTIONS" ] || [ "$EVICTIONS" -lt 1 ]; then
+  say "FAIL: no shard evictions under the byte budget"
+  exit 1
+fi
+
+say "killing node B, re-querying through the coordinator"
+kill "${PIDS[1]}" 2>/dev/null || true
+wait "${PIDS[1]}" 2>/dev/null || true
+AFTER=$(count "http://127.0.0.1:$COORD")
+say "post-kill merged count=$AFTER"
+if [ "$AFTER" != "$SINGLE" ]; then
+  say "FAIL: counts changed after node death ($AFTER != $SINGLE)"
+  exit 1
+fi
+FAILOVERS=$(curl -sf "http://127.0.0.1:$COORD/v1/coord" \
+  | grep -o '"failovers":[0-9]*' | cut -d: -f2 | awk '{s+=$1} END{print s+0}')
+say "coordinator failovers=$FAILOVERS"
+if [ -z "$FAILOVERS" ] || [ "$FAILOVERS" -lt 1 ]; then
+  say "FAIL: node death recorded no failovers"
+  exit 1
+fi
+stop_all
+
+# ---- Stage 2: distributed serving benchmark -----------------------------
+say "stage 2: starting two uncapped serve nodes + coordinator"
+start_node "$NODE_A"
+start_node "$NODE_B"
+start_coord
+
+BENCH_MERGED=$(count "http://127.0.0.1:$COORD")
+if [ "$BENCH_MERGED" != "$SINGLE" ]; then
+  say "FAIL: uncapped merged count diverges ($BENCH_MERGED != $SINGLE)"
+  exit 1
+fi
+
+say "driving the coordinator with peregrine-loadgen"
+"$WORK/bin/peregrine-loadgen" -addr "http://127.0.0.1:$COORD" -graph patents \
+  -clients 4 -duration 3s -motif 4 -mix 2 -out BENCH_sharded.json
+
+REQS=$(grep -o '"requests": [0-9]*' BENCH_sharded.json | head -1 | grep -o '[0-9]*')
+ERRS=$(grep -o '"errors": [0-9]*' BENCH_sharded.json | head -1 | grep -o '[0-9]*')
+say "loadgen requests=$REQS errors=$ERRS"
+if [ -z "$REQS" ] || [ "$REQS" -lt 1 ] || [ "$ERRS" != "0" ]; then
+  say "FAIL: loadgen report unhealthy (requests=$REQS errors=$ERRS)"
+  exit 1
+fi
+
+say "OK: merged counts exact, out-of-core evictions observed, failover survived, benchmark healthy"

@@ -1,0 +1,226 @@
+package peregrine
+
+// Differential tests for the sharding subsystem: the same graph mined
+// three ways — whole in memory, sharded out-of-core under a byte
+// budget small enough to force fragment eviction mid-query, and the
+// pattern-oblivious baselines — must agree exactly, for unlabeled and
+// labeled patterns alike. Task-range additivity (the scale-out
+// primitive) is checked as a property: disjoint ranges' counts sum to
+// the whole-graph counts.
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"peregrine/internal/baseline"
+	"peregrine/internal/gen"
+	"peregrine/internal/pattern"
+)
+
+// shardedCopy writes g as a sharded manifest in a temp dir and loads
+// it back with a budget of roughly budgetShards fragments, so scans
+// must evict and reload to finish.
+func shardedCopy(t *testing.T, g *Graph, shards int, budgetShards int) *Graph {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.manifest")
+	if err := SaveShardedGraph(path, g, shards); err != nil {
+		t.Fatalf("SaveShardedGraph: %v", err)
+	}
+	src, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	sg, err := src.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	t.Cleanup(func() { sg.Close() })
+	if budgetShards > 0 {
+		total := src.Bytes()
+		sg.SetShardBudget(total*uint64(budgetShards)/uint64(shards) + 1)
+	}
+	return sg
+}
+
+// TestDifferentialShardedUnlabeled mines every connected vertex-induced
+// pattern of 2..5 vertices on the whole graph, on its sharded
+// out-of-core copy, and through the baseline motif census; all three
+// must agree, and the sharded run must actually have evicted.
+func TestDifferentialShardedUnlabeled(t *testing.T) {
+	maxSize := 5
+	if testing.Short() {
+		maxSize = 4
+	}
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 64, Edges: 140, Seed: 12})
+	sg := shardedCopy(t, g, 8, 2)
+	for size := 2; size <= maxSize; size++ {
+		want, _ := baseline.MotifCountsDFS(g, size, 4)
+		for _, p := range pattern.GenerateAllVertexInduced(size) {
+			vip := pattern.VertexInduced(p)
+			whole, err := Count(g, vip, WithThreads(4))
+			if err != nil {
+				t.Fatalf("whole count %v: %v", p, err)
+			}
+			sharded, err := Count(sg, vip, WithThreads(4))
+			if err != nil {
+				t.Fatalf("sharded count %v: %v", p, err)
+			}
+			base := want[p.CanonicalCode()]
+			if whole != base || sharded != base {
+				t.Errorf("size %d pattern %v: whole = %d, sharded = %d, baseline = %d",
+					size, p, whole, sharded, base)
+			}
+		}
+	}
+	st, ok := GraphShardStats(sg)
+	if !ok {
+		t.Fatalf("sharded graph reports no shard stats")
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("shard stats %+v: want evictions > 0 under a 2-of-8-fragment budget", st)
+	}
+	if st.Loads <= uint64(st.Shards) {
+		t.Errorf("shard stats %+v: want reloads (loads > shards) for an out-of-core run", st)
+	}
+}
+
+// TestDifferentialShardedLabeled repeats the three-way check with fully
+// labeled 4-vertex patterns against the labeled-subgraph baseline.
+func TestDifferentialShardedLabeled(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 48, Edges: 110, Seed: 11, Labels: 3})
+	sg := shardedCopy(t, g, 6, 2)
+	for _, skel := range pattern.GenerateAllVertexInduced(4) {
+		for variant := 0; variant < 3; variant++ {
+			lab := skel.Clone()
+			for v := 0; v < lab.N(); v++ {
+				lab.SetLabel(v, pattern.Label((v+variant)%3))
+			}
+			want, _ := baseline.PatternCountDFS(g, lab, 4)
+			vip := pattern.VertexInduced(lab)
+			whole, err := Count(g, vip, WithThreads(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := Count(sg, vip, WithThreads(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if whole != want || sharded != want {
+				t.Errorf("labeled %v: whole = %d, sharded = %d, baseline = %d",
+					lab, whole, sharded, want)
+			}
+		}
+	}
+	if st, _ := GraphShardStats(sg); st.Evictions == 0 {
+		t.Fatalf("shard stats %+v: want evictions > 0", st)
+	}
+}
+
+// TestTaskRangeAdditivity checks the distribution primitive: counts
+// over disjoint task ranges sum to the whole-graph counts, with and
+// without symmetry breaking, on whole and sharded graphs.
+func TestTaskRangeAdditivity(t *testing.T) {
+	g := gen.RMAT(gen.RMATConfig{Vertices: 64, Edges: 160, Seed: 13, Labels: 2})
+	sg := shardedCopy(t, g, 4, 2)
+	pats := []*Pattern{
+		mustParse(t, "0-1 1-2 2-0"),
+		mustParse(t, "0-1 0-2 0-3"),
+		mustParse(t, "0-1 1-2 2-3 3-0"),
+	}
+	cuts := [][]uint32{
+		{0, 64},
+		{0, 17, 64},
+		{0, 5, 23, 41, 64},
+		{0, 1, 2, 3, 64},
+	}
+	for _, withSym := range []bool{true, false} {
+		base := []Option{WithThreads(4)}
+		if !withSym {
+			base = append(base, WithoutSymmetryBreaking())
+		}
+		want, err := CountMany(g, pats, base...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range []struct {
+			name string
+			g    *Graph
+		}{{"whole", g}, {"sharded", sg}} {
+			for _, cut := range cuts {
+				sum := make([]uint64, len(pats))
+				for i := 0; i+1 < len(cut); i++ {
+					opts := append(append([]Option(nil), base...), WithTaskRange(cut[i], cut[i+1]))
+					part, err := CountMany(target.g, pats, opts...)
+					if err != nil {
+						t.Fatalf("%s range [%d,%d): %v", target.name, cut[i], cut[i+1], err)
+					}
+					for j, c := range part {
+						sum[j] += c
+					}
+				}
+				for j := range pats {
+					if sum[j] != want[j] {
+						t.Errorf("%s sym=%v cut %v pattern %d: ranges sum to %d, whole = %d",
+							target.name, withSym, cut, j, sum[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedConcurrentQueries churns fragments through a tight budget
+// with concurrent queries — the -race stress for eviction and reload
+// mid-query.
+func TestShardedConcurrentQueries(t *testing.T) {
+	g := gen.ErdosRenyi(gen.ERConfig{Vertices: 96, Edges: 300, Seed: 7})
+	sg := shardedCopy(t, g, 8, 1)
+	tri := mustParse(t, "0-1 1-2 2-0")
+	want, err := Count(g, tri, WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				got, err := Count(sg, tri, WithThreads(2))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					errs <- errCount{got, want}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st, _ := GraphShardStats(sg); st.Evictions == 0 {
+		t.Fatalf("shard stats %+v: want evictions under concurrent load", st)
+	}
+}
+
+type errCount struct{ got, want uint64 }
+
+func (e errCount) Error() string {
+	return "sharded count mismatch under churn"
+}
+
+func mustParse(t *testing.T, s string) *Pattern {
+	t.Helper()
+	p, err := ParsePattern(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -31,7 +31,8 @@ type GraphFormat string
 
 const (
 	// FormatAuto detects the format from the file's content: a .pgr
-	// magic selects FormatBinary, anything else FormatEdgeList.
+	// magic selects FormatBinary, a shard-manifest magic FormatSharded,
+	// anything else FormatEdgeList.
 	FormatAuto GraphFormat = ""
 	// FormatEdgeList is the whitespace text format of LoadGraph.
 	FormatEdgeList GraphFormat = "edgelist"
@@ -39,6 +40,12 @@ const (
 	// once (SaveGraph, gengraph -format pgr), then loaded by mmap with
 	// zero parsing and zero copying wherever the platform allows.
 	FormatBinary GraphFormat = "pgr"
+	// FormatSharded is a shard manifest mapping contiguous vertex
+	// ranges to per-shard .pgr fragment files (SaveShardedGraph,
+	// gengraph -shards N). Loading yields a graph whose fragments page
+	// in on demand and evict under a byte budget — out-of-core mining
+	// for graphs larger than memory.
+	FormatSharded GraphFormat = "sharded"
 )
 
 // OpenOption configures Open.
@@ -72,14 +79,17 @@ func Open(path string, opts ...OpenOption) (Source, error) {
 	switch c.format {
 	case FormatAuto:
 		return graph.OpenPath(path)
-	case FormatEdgeList, FormatBinary:
+	case FormatEdgeList, FormatBinary, FormatSharded:
 		// The existence guarantee holds for forced formats too; only
 		// the content sniff is skipped.
 		if _, err := os.Stat(path); err != nil {
 			return nil, fmt.Errorf("peregrine: %w", err)
 		}
-		if c.format == FormatBinary {
+		switch c.format {
+		case FormatBinary:
 			return graph.BinarySource(path), nil
+		case FormatSharded:
+			return graph.ShardedSource(path), nil
 		}
 		return graph.EdgeListSource(path), nil
 	default:
@@ -101,14 +111,37 @@ func SaveGraph(path string, g *Graph) error {
 	return SaveGraphAs(path, g, FormatEdgeList)
 }
 
-// SaveGraphAs writes g to path in the given format.
+// SaveGraphAs writes g to path in the given format. FormatSharded
+// partitions into a default shard count; use SaveShardedGraph to
+// choose it.
 func SaveGraphAs(path string, g *Graph, f GraphFormat) error {
 	switch f {
 	case FormatBinary:
 		return graph.SaveBinary(path, g)
 	case FormatEdgeList, FormatAuto:
 		return graph.SaveEdgeList(path, g)
+	case FormatSharded:
+		return SaveShardedGraph(path, g, 4)
 	default:
 		return fmt.Errorf("peregrine: unknown graph format %q", f)
 	}
 }
+
+// SaveShardedGraph partitions g into shards contiguous vertex-range
+// fragments, balanced by adjacency size, written as
+// "<base>.shard<i>.pgr" files next to manifestPath plus the manifest
+// itself. The manifest opens with Open/LoadGraph like any other graph
+// file; loading pages fragments in on demand (see FormatSharded).
+func SaveShardedGraph(manifestPath string, g *Graph, shards int) error {
+	_, err := graph.SaveSharded(manifestPath, g, shards)
+	return err
+}
+
+// ShardStats snapshots a sharded graph's fragment activity: shards
+// resident and pinned, cumulative loads and budget evictions, resident
+// bytes. The second return of GraphShardStats is false for non-sharded
+// graphs.
+type ShardStats = graph.ShardCounters
+
+// GraphShardStats reports fragment activity for a sharded graph.
+func GraphShardStats(g *Graph) (ShardStats, bool) { return g.ShardCounters() }
