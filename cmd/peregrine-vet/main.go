@@ -1,0 +1,49 @@
+// Command peregrine-vet is the engine's invariant gate: a multichecker
+// of five analyzers, each encoding a bug class this codebase has
+// actually hit or is structurally exposed to.
+//
+//	labeltrunc  truncating conversions of pattern labels (the PR 5/PR 7
+//	            16-bit collision bug class, enforced forever)
+//	pinrelease  pin-release funcs from Acquire/PinShard must run on
+//	            every path (leaked pins defeat -max-graph-bytes)
+//	atomicmix   fields accessed both via sync/atomic and plainly
+//	lockheld    blocking operations inside mutex critical sections
+//	ctxthread   context.Context parameters threaded, never dropped
+//
+// Run standalone:
+//
+//	go run ./cmd/peregrine-vet ./...
+//
+// or through the toolchain (build caching, test packages included):
+//
+//	go build -o /tmp/pvet ./cmd/peregrine-vet
+//	go vet -vettool=/tmp/pvet ./...
+//
+// Suppress a deliberate violation with a justified directive on (or
+// directly above) the offending line:
+//
+//	//pvet:ignore lockheld per-entry load serialization; lock order documented
+//
+// The reason is mandatory, and suppressions that silence nothing are
+// themselves findings — the gate stays true-positive-only.
+package main
+
+import (
+	"peregrine/internal/analysis"
+	"peregrine/internal/analysis/atomicmix"
+	"peregrine/internal/analysis/ctxthread"
+	"peregrine/internal/analysis/driver"
+	"peregrine/internal/analysis/labeltrunc"
+	"peregrine/internal/analysis/lockheld"
+	"peregrine/internal/analysis/pinrelease"
+)
+
+func main() {
+	driver.Main([]*analysis.Analyzer{
+		labeltrunc.Analyzer,
+		pinrelease.Analyzer,
+		atomicmix.Analyzer,
+		lockheld.Analyzer,
+		ctxthread.Analyzer,
+	})
+}

@@ -1,0 +1,60 @@
+// Package analysis is a self-contained miniature of
+// golang.org/x/tools/go/analysis: just enough of the Analyzer / Pass /
+// Diagnostic shape for peregrine-vet's checkers, with no external
+// dependency. Each Analyzer inspects one type-checked package at a time
+// and reports Diagnostics through its Pass; drivers (the standalone
+// loader in internal/analysis/driver and the `go vet -vettool` protocol
+// in the same package) own loading, suppression filtering, and output.
+//
+// The subset is deliberate: no Facts (none of the engine's invariants
+// need cross-package state), no Requires graph (the five checkers are
+// independent), and no SuggestedFixes. If the module ever grows a real
+// x/tools dependency, the analyzers port over by changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pvet:ignore suppressions. It must be a valid identifier.
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary
+	// (shown by -flags and the README table), the rest elaborates.
+	Doc string
+
+	// Run applies the check to one package. Diagnostics go through
+	// pass.Report/Reportf; the returned value is unused (kept for
+	// x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Pass is one application of one Analyzer to one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic to the driver. Set by the driver
+	// before Run is called.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding. The driver attaches the analyzer name.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

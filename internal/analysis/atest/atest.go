@@ -1,0 +1,200 @@
+// Package atest is a miniature of golang.org/x/tools/go/analysis/
+// analysistest: it loads fixture packages from an analyzer's
+// testdata/src/<pkg> directory, runs the analyzer, and checks the
+// diagnostics against `// want "regexp"` comments — every want must be
+// matched by a diagnostic on its line, and every diagnostic must be
+// wanted. Fixtures may import real module packages (the labeltrunc
+// positive fixture reconstructs the historical PR 5 truncation bug
+// against the real pattern.Label); imports resolve through `go list
+// -export` compiler export data, so the harness works offline.
+package atest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"peregrine/internal/analysis"
+	"peregrine/internal/analysis/load"
+)
+
+// Run applies a to each fixture package under testdata/src and reports
+// mismatches through t. Fixture packages are independent: one
+// analyzer run per directory.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fx := range fixtures {
+		t.Run(fx, func(t *testing.T) { runOne(t, a, fx) })
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", fixture)
+	}
+	sort.Strings(files)
+
+	pkg := loadFixture(t, dir, fixture, files)
+
+	// Collect expectations.
+	wants := make(map[string]map[int][]*want) // file -> line -> wants
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, re := range parseWants(t, pkg.Fset, c) {
+					line := pkg.Fset.Position(c.Pos()).Line
+					if wants[name] == nil {
+						wants[name] = make(map[int][]*want)
+					}
+					wants[name][line] = append(wants[name][line], &want{re: re})
+				}
+			}
+		}
+	}
+
+	// Run the analyzer.
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	// Match diagnostics to wants.
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		ws := wants[pos.Filename][pos.Line]
+		ok := false
+		for _, w := range ws {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+// loadFixture parses and type-checks one fixture package, resolving
+// its imports through the module's export data.
+func loadFixture(t *testing.T, dir, pkgPath string, files []string) *load.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+
+	// A pre-parse to discover imports (the real parse happens in
+	// load.Check so positions and comments line up).
+	imports := map[string]bool{}
+	for _, name := range files {
+		f, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range importLines(string(f)) {
+			imports[line] = true
+		}
+	}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exports, err := load.Exports(".", paths...)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	imp := load.NewImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	pkg, err := load.Check(fset, imp, pkgPath, dir, files)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return pkg
+}
+
+// importLines extracts quoted import paths from source text — a cheap
+// scan that tolerates both single imports and factored blocks.
+var importRE = regexp.MustCompile(`(?m)^\s*(?:import\s+)?(?:\w+\s+|\.\s+)?"([^"]+)"`)
+
+func importLines(src string) []string {
+	// Only scan up to the first func/type/var/const declaration: the
+	// import section ends there, and string literals later in the file
+	// must not be mistaken for imports.
+	if i := regexp.MustCompile(`(?m)^(func|type|var|const)\b`).FindStringIndex(src); i != nil {
+		src = src[:i[0]]
+	}
+	var out []string
+	for _, m := range importRE.FindAllStringSubmatch(src, -1) {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// parseWants extracts the quoted regexps of a `// want "..." "..."`
+// comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*regexp.Regexp {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	var out []*regexp.Regexp
+	for _, q := range wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+		body := q[1 : len(q)-1]
+		if q[0] == '"' {
+			body = strings.ReplaceAll(body, `\"`, `"`)
+		}
+		re, err := regexp.Compile(body)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %s: %v", fset.Position(c.Pos()), q, err)
+		}
+		out = append(out, re)
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no pattern", fset.Position(c.Pos()))
+	}
+	return out
+}

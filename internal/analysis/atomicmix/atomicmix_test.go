@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"peregrine/internal/analysis/atest"
+	"peregrine/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	atest.Run(t, atomicmix.Analyzer, "atomicmix")
+}

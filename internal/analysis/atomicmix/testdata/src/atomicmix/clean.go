@@ -1,0 +1,38 @@
+package atomicmix
+
+import "sync/atomic"
+
+// typed uses the typed atomics the engine standardizes on: the plain
+// form is inexpressible, so there is nothing to flag.
+type typed struct {
+	loads     atomic.Uint64
+	evictions atomic.Uint64
+}
+
+func (t *typed) load() uint64 {
+	t.loads.Add(1)
+	return t.loads.Load()
+}
+
+func (t *typed) counters() (uint64, uint64) {
+	return t.loads.Load(), t.evictions.Load()
+}
+
+// disciplined keeps one style per field throughout.
+type disciplined struct {
+	n uint64
+}
+
+func (d *disciplined) bump() {
+	atomic.AddUint64(&d.n, 1)
+}
+
+func (d *disciplined) read() uint64 {
+	return atomic.LoadUint64(&d.n)
+}
+
+// construction with a composite literal happens before the value is
+// shared; it is exempt by design.
+func fresh() *disciplined {
+	return &disciplined{n: 1}
+}

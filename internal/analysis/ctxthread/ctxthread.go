@@ -1,0 +1,119 @@
+// Package ctxthread enforces context threading on query entry points.
+// The serving path's cancellation story only works end to end: HTTP
+// disconnect → job cancel → context → core.Options → worker stop flag.
+// An exported entry point that accepts a context.Context and then
+// drops it silently breaks that chain — queries keep mining after
+// their caller is gone, pins stay held, and the only symptom is a
+// server doing work nobody will read. Same for outbound requests built
+// with http.NewRequest instead of http.NewRequestWithContext: the
+// round trip outlives the query that asked for it.
+package ctxthread
+
+import (
+	"go/ast"
+	"go/types"
+
+	"peregrine/internal/analysis"
+)
+
+// Analyzer reports dropped context parameters and context-free
+// outbound requests.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxthread",
+	Doc: "ensure context.Context parameters are threaded, not dropped\n\n" +
+		"An exported function or method that accepts a context.Context must\n" +
+		"use it — thread it into core.Options, a request, or a callee.\n" +
+		"Any function with a ctx parameter that builds an outbound request\n" +
+		"must use http.NewRequestWithContext, and must not shadow its caller\n" +
+		"with a fresh context.Background()/TODO() unless the parameter is\n" +
+		"also used.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObjs := ctxParams(pass, fd)
+			if len(ctxObjs) == 0 {
+				continue
+			}
+			used := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if o := pass.TypesInfo.Uses[id]; o != nil && ctxObjs[o] {
+					used = true
+				}
+				return true
+			})
+			if !used && fd.Name.IsExported() {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s accepts a context.Context but never uses it; cancellation is silently dropped",
+					fd.Name.Name)
+			}
+			// With a ctx in hand, outbound requests must carry it.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := callee(pass, call); fn != nil &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "net/http" &&
+					fn.Name() == "NewRequest" && fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(call.Pos(),
+						"http.NewRequest inside a function with a ctx parameter; use http.NewRequestWithContext so the round trip is cancellable")
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// ctxParams returns the objects of fd's context.Context parameters
+// (usually one, but variadic entry points exist).
+func ctxParams(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			o := pass.TypesInfo.Defs[name]
+			if o == nil || name.Name == "_" {
+				continue
+			}
+			if isContext(o.Type()) {
+				out[o] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package ctxthread_test
+
+import (
+	"testing"
+
+	"peregrine/internal/analysis/atest"
+	"peregrine/internal/analysis/ctxthread"
+)
+
+func TestCtxthread(t *testing.T) {
+	atest.Run(t, ctxthread.Analyzer, "ctxthread")
+}

@@ -1,0 +1,37 @@
+package ctxthread
+
+import (
+	"context"
+	"net/http"
+)
+
+// CountThreaded forwards the ctx into the mining loop's stop channel.
+func (e *engine) CountThreaded(ctx context.Context, pattern string) uint64 {
+	e.mine(ctx.Done())
+	return 0
+}
+
+// Forwarded passes the ctx straight through to a callee.
+func Forwarded(ctx context.Context, url string) (*http.Response, error) {
+	return fetchWith(ctx, url)
+}
+
+// fetchWith builds the request the approved way.
+func fetchWith(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// unexportedDrop ignores its ctx but is not an entry point; package
+// internals are the caller's business.
+func unexportedDrop(ctx context.Context, n int) int {
+	return n * 2
+}
+
+// NoCtx takes no context; nothing to thread.
+func NoCtx(pattern string) bool {
+	return pattern == ""
+}

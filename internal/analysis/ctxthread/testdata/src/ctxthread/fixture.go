@@ -1,0 +1,47 @@
+// Fixtures for ctxthread: entry points that break the cancellation
+// chain HTTP disconnect → job cancel → context → worker stop.
+package ctxthread
+
+import (
+	"context"
+	"net/http"
+)
+
+type engine struct{}
+
+func (e *engine) mine(stop <-chan struct{}) {}
+
+// Count accepts a ctx and ignores it: a query on this path keeps
+// mining after its caller hangs up.
+func (e *engine) Count(ctx context.Context, pattern string) uint64 { // want `exported Count accepts a context\.Context but never uses it`
+	e.mine(nil)
+	return 0
+}
+
+// Match drops the ctx the same way at package level.
+func Match(ctx context.Context, pattern string) bool { // want `exported Match accepts a context\.Context but never uses it`
+	return pattern != ""
+}
+
+// fetch builds an outbound request without the ctx it was handed.
+func fetch(ctx context.Context, url string) (*http.Response, error) {
+	<-ctx.Done()
+	req, err := http.NewRequest("GET", url, nil) // want `http\.NewRequest inside a function with a ctx parameter; use http\.NewRequestWithContext`
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// Replicate both drops its ctx and issues an uncancellable request.
+func Replicate(ctx context.Context, peer string) error { // want `exported Replicate accepts a context\.Context but never uses it`
+	req, err := http.NewRequest("POST", peer, nil) // want `http\.NewRequest inside a function with a ctx parameter`
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

@@ -1,0 +1,96 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"log"
+	"os"
+
+	"peregrine/internal/analysis"
+	"peregrine/internal/analysis/load"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// package when invoked as `go vet -vettool=peregrine-vet`. Field names
+// must match cmd/go's (see cmd/go/internal/work and x/tools'
+// unitchecker, which consume/produce the same schema).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by cfgFile. It
+// always writes the (empty — peregrine-vet exchanges no facts) .vetx
+// output cmd/go expects, even for failed runs, so the build cache
+// entry is complete.
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return exitError
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Printf("parsing vet config %s: %v", cfgFile, err)
+		return exitError
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Print(err)
+			return exitError
+		}
+	}
+	if cfg.VetxOnly {
+		// This package is only in the graph to supply facts to a
+		// dependent; peregrine-vet has none to compute.
+		return exitClean
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		log.Printf("unsupported compiler %q", cfg.Compiler)
+		return exitError
+	}
+
+	fset := token.NewFileSet()
+	imp := load.NewImporter(fset, func(path string) (string, bool) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		return file, ok
+	})
+	pkg, err := checkCfg(fset, imp, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return exitClean
+		}
+		log.Print(err)
+		return exitError
+	}
+	diags := analyze(fset, pkg.Files, pkg, analyzers)
+	if emit(fset, cfg.ImportPath, diags, jsonOut) {
+		return exitDiags
+	}
+	return exitClean
+}
+
+func checkCfg(fset *token.FileSet, imp types.Importer, cfg *vetConfig) (*load.Package, error) {
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("%s: no Go files to analyze", cfg.ImportPath)
+	}
+	return load.Check(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+}

@@ -1,0 +1,136 @@
+// Package labeltrunc flags truncating conversions of pattern-label
+// values. The engine hit this bug class twice for real: PR 5's trie
+// step keys and the plan cache's exact keys both squeezed a 32-bit
+// pattern.Label through uint16, so labels congruent mod 2^16 collided
+// and one label's cached plan (or trie step) silently served another —
+// corrupting every count downstream, exactly the failure Peregrine's
+// exactness guarantees exclude. Both sites now use pattern.LabelCode,
+// the single blessed lossless encoding; this analyzer makes the bug
+// class unrepresentable anywhere else.
+package labeltrunc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"peregrine/internal/analysis"
+)
+
+// Analyzer flags conversions of pattern.Label-typed values to integer
+// types narrower than 32 bits, anywhere outside pattern.LabelCode.
+var Analyzer = &analysis.Analyzer{
+	Name: "labeltrunc",
+	Doc: "flag truncating conversions of pattern label values\n\n" +
+		"A pattern.Label is a full int32; converting one (or any expression\n" +
+		"of Label type, e.g. l>>8 or l&0xff) to int8/int16/uint8/uint16\n" +
+		"drops high bits, so two distinct labels can encode identically in\n" +
+		"a derived key. Build label keys with pattern.LabelCode — the one\n" +
+		"lossless encoding — instead of ad-hoc narrowing. The only exempt\n" +
+		"site is pattern.LabelCode itself.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && exemptFunc(pass, fd) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[call.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				dst := tv.Type
+				if !narrowInt(dst) {
+					return true
+				}
+				if src := labelOperand(pass, call.Args[0]); src != "" {
+					pass.Reportf(call.Pos(),
+						"truncating conversion of %s to %s can collide distinct labels; use pattern.LabelCode",
+						src, dst.String())
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// exemptFunc reports whether fd is pattern.LabelCode — the one place
+// allowed to take labels apart byte by byte.
+func exemptFunc(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	return pass.Pkg.Name() == "pattern" && fd.Recv == nil && fd.Name.Name == "LabelCode"
+}
+
+// narrowInt reports whether t is an integer type too small to hold
+// every int32 label value.
+func narrowInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Int16, types.Uint8, types.Uint16:
+		return true
+	}
+	return false
+}
+
+// labelOperand reports whether e carries a pattern-label value,
+// returning a description for the diagnostic ("" if not). It sees
+// through widening integer conversions, so uint16(int64(l)) does not
+// launder the label.
+func labelOperand(pass *analysis.Pass, e ast.Expr) string {
+	for {
+		if isLabelType(typeOf(pass, e)) {
+			return "pattern label value " + types.ExprString(e)
+		}
+		// Unwrap a lossless integer reconversion of a label.
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return ""
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return ""
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+			return ""
+		}
+		e = call.Args[0]
+	}
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isLabelType reports whether t is the pattern package's Label type:
+// a named integer type Label declared in a package named "pattern"
+// (matched by package name, not import path, so the analyzer's own
+// fixtures and any future fork of the engine are held to the same
+// rule).
+func isLabelType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Label" || obj.Pkg() == nil || obj.Pkg().Name() != "pattern" {
+		return false
+	}
+	b, ok := n.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

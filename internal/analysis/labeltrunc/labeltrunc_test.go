@@ -1,0 +1,12 @@
+package labeltrunc_test
+
+import (
+	"testing"
+
+	"peregrine/internal/analysis/atest"
+	"peregrine/internal/analysis/labeltrunc"
+)
+
+func TestLabeltrunc(t *testing.T) {
+	atest.Run(t, labeltrunc.Analyzer, "labeltrunc")
+}

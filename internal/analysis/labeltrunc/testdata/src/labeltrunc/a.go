@@ -1,0 +1,49 @@
+// Positive fixtures: reconstructions of the two label-truncation bugs
+// this repo actually shipped (PR 5's trie step keys and the plan
+// cache's exact keys), plus the laundering variants the analyzer must
+// see through.
+package labeltrunc
+
+import "peregrine/internal/pattern"
+
+// orderKey is the historical PR 5 bug, verbatim in shape: a matching
+// order's labels packed through a 16-bit slot, so labels 65539 and 3
+// produce the same key and one label's trie step serves the other.
+func orderKey(labels []pattern.Label) []byte {
+	var b []byte
+	for _, l := range labels {
+		k := uint16(l) // want `truncating conversion of pattern label value l to uint16`
+		b = append(b, byte(k>>8), byte(k))
+	}
+	return b
+}
+
+// cacheKey is the sibling plan-cache bug: label mixed into a key via
+// byte extraction outside pattern.LabelCode.
+func cacheKey(p *pattern.Pattern, v int) byte {
+	return byte(p.LabelOf(v)) // want `truncating conversion of pattern label value p\.LabelOf\(v\) to byte`
+}
+
+// masked shows that masking does not change the operand's type: l&0xffff
+// is still a pattern.Label, and the conversion still truncates.
+func masked(l pattern.Label) uint16 {
+	return uint16(l & 0xffff) // want `truncating conversion of pattern label value`
+}
+
+// shifted: manual byte extraction re-implements LabelCode badly.
+func shifted(l pattern.Label) byte {
+	return byte(l >> 8) // want `truncating conversion of pattern label value`
+}
+
+// laundered widens through int64 first; the label is still the value
+// being truncated.
+func laundered(l pattern.Label) uint16 {
+	return uint16(int64(l)) // want `truncating conversion of pattern label value`
+}
+
+// named truncating target types are no escape either.
+type smallKey int16
+
+func namedNarrow(l pattern.Label) smallKey {
+	return smallKey(l) // want `truncating conversion of pattern label value l to labeltrunc\.smallKey`
+}

@@ -1,0 +1,30 @@
+package labeltrunc
+
+import "peregrine/internal/pattern"
+
+// cleanKey is the blessed shape: pattern.LabelCode is the one lossless
+// encoding, and appending its bytes never narrows a Label.
+func cleanKey(labels []pattern.Label) []byte {
+	var b []byte
+	for _, l := range labels {
+		lb := pattern.LabelCode(l)
+		b = append(b, lb[:]...)
+	}
+	return b
+}
+
+// widening conversions of labels are fine.
+func widened(l pattern.Label) (int32, int64, int, uint32) {
+	return int32(l), int64(l), int(l), uint32(l)
+}
+
+// Narrow conversions of non-label integers are not this analyzer's
+// business (that's the compiler's and the reviewer's).
+func otherNarrow(x int32, k smallKey) (uint16, int16) {
+	return uint16(x), int16(k)
+}
+
+// A label compared or stored at full width is fine.
+func fullWidth(l pattern.Label) bool {
+	return l != pattern.Wildcard
+}

@@ -1,0 +1,318 @@
+// Package lockheld flags blocking operations performed while a sync
+// mutex is held: channel sends/receives, selects without default,
+// graph Source.Load calls, HTTP round trips, and similar indefinite
+// waits. This is the deadlock shape the registry/coalescer/coordinator
+// triangle invites — a lock-holding goroutine parks on a channel whose
+// counterpart needs the same lock — and the one class of bug where the
+// race detector is no help because nothing races; everything just
+// stops.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"peregrine/internal/analysis"
+)
+
+// Analyzer reports blocking operations inside mutex critical sections.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "flag blocking operations while a sync.Mutex/RWMutex is held\n\n" +
+		"Between x.Lock() and x.Unlock() (or to function end after a defer\n" +
+		"x.Unlock()), the critical section must not block indefinitely:\n" +
+		"channel send/receive, select without default, range over a channel,\n" +
+		"sync.WaitGroup.Wait, time.Sleep, graph Source.Load, and net/http\n" +
+		"round trips are flagged. Deliberately serialized slow paths (e.g.\n" +
+		"a per-entry load mutex with a documented lock order) carry a\n" +
+		"//pvet:ignore lockheld justification instead.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// held tracks which mutexes are locked at a program point, keyed by
+// the receiver expression's source text ("r.mu", "e.loadMu").
+type held map[string]token.Pos
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// checkBody walks one function body in statement order, tracking the
+// lock set. Branch bodies are analyzed with a copy of the entry state:
+// a lock released inside one branch is treated as released only within
+// it — conservative for the straight-line Lock/op/Unlock shape this
+// analyzer exists to police. Nested function literals get a fresh
+// empty state (they usually run on another goroutine; an inline call
+// holding the parent's lock is beyond this analysis).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	walkStmts(pass, body.List, make(held))
+}
+
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, h held) {
+	for _, s := range stmts {
+		walkStmt(pass, s, h)
+	}
+}
+
+func walkStmt(pass *analysis.Pass, s ast.Stmt, h held) {
+	switch st := s.(type) {
+	case nil:
+		return
+	case *ast.ExprStmt:
+		if recv, kind := lockOp(pass, st.X); kind == opLock {
+			checkExpr(pass, st.X, h) // args first, then take the lock
+			h[recv] = st.Pos()
+			return
+		} else if kind == opUnlock {
+			delete(h, recv)
+			return
+		}
+		checkExpr(pass, st.X, h)
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the lock held to function end — the
+		// state simply stays as-is. Other defers: the deferred call
+		// runs later, outside this critical section; skip its body but
+		// check argument expressions (evaluated now).
+		if _, kind := lockOp(pass, st.Call); kind == opNone {
+			for _, a := range st.Call.Args {
+				checkExpr(pass, a, h)
+			}
+		}
+	case *ast.SendStmt:
+		checkExpr(pass, st.Value, h)
+		report(pass, h, st.Pos(), "channel send")
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			checkExpr(pass, a, h)
+		}
+	case *ast.SelectStmt:
+		if !hasDefault(st) {
+			report(pass, h, st.Pos(), "select without default")
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			inner := h.clone()
+			if cc.Comm != nil && hasDefault(st) {
+				// Non-blocking select: comm ops themselves are fine.
+			}
+			walkStmts(pass, cc.Body, inner)
+		}
+	case *ast.RangeStmt:
+		if t := typeOf(pass, st.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				report(pass, h, st.Pos(), "range over channel")
+			}
+		}
+		checkExpr(pass, st.X, h)
+		walkStmts(pass, st.Body.List, h.clone())
+	case *ast.BlockStmt:
+		walkStmts(pass, st.List, h)
+	case *ast.IfStmt:
+		walkStmt(pass, st.Init, h)
+		checkExpr(pass, st.Cond, h)
+		walkStmts(pass, st.Body.List, h.clone())
+		if st.Else != nil {
+			walkStmt(pass, st.Else, h.clone())
+		}
+	case *ast.ForStmt:
+		walkStmt(pass, st.Init, h)
+		if st.Cond != nil {
+			checkExpr(pass, st.Cond, h)
+		}
+		inner := h.clone()
+		walkStmts(pass, st.Body.List, inner)
+		walkStmt(pass, st.Post, inner)
+	case *ast.SwitchStmt:
+		walkStmt(pass, st.Init, h)
+		if st.Tag != nil {
+			checkExpr(pass, st.Tag, h)
+		}
+		for _, c := range st.Body.List {
+			walkStmts(pass, c.(*ast.CaseClause).Body, h.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		walkStmt(pass, st.Init, h)
+		for _, c := range st.Body.List {
+			walkStmts(pass, c.(*ast.CaseClause).Body, h.clone())
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			checkExpr(pass, e, h)
+		}
+		for _, e := range st.Lhs {
+			checkExpr(pass, e, h)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			checkExpr(pass, e, h)
+		}
+	case *ast.LabeledStmt:
+		walkStmt(pass, st.Stmt, h)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						checkExpr(pass, v, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkExpr flags blocking expressions (receives, blocking calls)
+// while h is non-empty, without descending into function literals.
+func checkExpr(pass *analysis.Pass, e ast.Expr, h held) {
+	if e == nil || len(h) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				report(pass, h, x.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if what := blockingCall(pass, x); what != "" {
+				report(pass, h, x.Pos(), what)
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, h held, pos token.Pos, what string) {
+	if len(h) == 0 {
+		return
+	}
+	for recv, lpos := range h {
+		pass.Reportf(pos, "%s while %s is locked (since %s) can deadlock; shrink the critical section",
+			what, recv, pass.Fset.Position(lpos))
+	}
+}
+
+type lockKind int
+
+const (
+	opNone lockKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies e as a Lock/RLock or Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex (including ones embedded in a struct),
+// returning the receiver expression text as the lock's identity.
+func lockOp(pass *analysis.Pass, e ast.Expr) (string, lockKind) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", opNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	recv := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return recv, opLock
+	case "Unlock", "RUnlock":
+		return recv, opUnlock
+	}
+	return "", opNone
+}
+
+// blockingCall describes call if it can block indefinitely, else "".
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	recv := ""
+	if sig != nil && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			recv = n.Obj().Name()
+		}
+	}
+	switch {
+	case pkg == "net/http" && recv == "" &&
+		(fn.Name() == "Get" || fn.Name() == "Post" || fn.Name() == "PostForm" || fn.Name() == "Head"):
+		return "net/http." + fn.Name() + " round trip"
+	case pkg == "net/http" && recv == "Client":
+		return "http.Client." + fn.Name() + " round trip"
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case pkg == "sync" && recv == "WaitGroup" && fn.Name() == "Wait":
+		return "WaitGroup.Wait"
+	case pkg == "os/exec" && recv == "Cmd" &&
+		(fn.Name() == "Run" || fn.Name() == "Wait" || fn.Name() == "Output" || fn.Name() == "CombinedOutput"):
+		return "exec.Cmd." + fn.Name()
+	case fn.Name() == "Load" && recv == "Source":
+		// The graph Source contract: Load reads or generates a whole
+		// graph — milliseconds to minutes. Matched by interface name so
+		// fixtures and forks are held to the same rule.
+		return "Source.Load"
+	}
+	return ""
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"peregrine/internal/analysis/atest"
+	"peregrine/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	atest.Run(t, lockheld.Analyzer, "lockheld")
+}

@@ -1,0 +1,53 @@
+package lockheld
+
+import "time"
+
+// shrunk releases the lock before parking: the pattern the analyzer
+// pushes code toward.
+func (e *entry) shrunk() {
+	e.mu.Lock()
+	e.data = nil
+	e.mu.Unlock()
+	<-e.ready
+}
+
+// nonBlocking uses a select with a default clause: it cannot park.
+func (e *entry) nonBlocking() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case e.work <- 1:
+	default:
+	}
+}
+
+// handoff spawns the blocking work on another goroutine; the literal's
+// body runs outside this critical section.
+func (e *entry) handoff() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		<-e.ready
+	}()
+}
+
+// unlocked blocks, but holds nothing.
+func (e *entry) unlocked() []byte {
+	<-e.ready
+	time.Sleep(time.Millisecond)
+	e.mu.Lock()
+	b := e.data
+	e.mu.Unlock()
+	return b
+}
+
+// branchRelease unlocks in every path that later blocks.
+func (e *entry) branchRelease(fast bool) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+		<-e.ready
+		return
+	}
+	e.mu.Unlock()
+}

@@ -1,0 +1,87 @@
+// Fixtures for lockheld: the registry/coalescer deadlock shapes —
+// a goroutine parks on a channel or a slow load while holding a
+// mutex another goroutine needs.
+package lockheld
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Source mirrors the graph source contract: Load is slow by design.
+type Source interface {
+	Load() ([]byte, error)
+}
+
+type entry struct {
+	mu     sync.Mutex
+	loadMu sync.Mutex
+	src    Source
+	ready  chan struct{}
+	work   chan int
+	data   []byte
+}
+
+func (e *entry) sendLocked() {
+	e.mu.Lock()
+	e.work <- 1 // want `channel send while e\.mu is locked .* can deadlock`
+	e.mu.Unlock()
+}
+
+func (e *entry) recvLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	<-e.ready // want `channel receive while e\.mu is locked`
+}
+
+func (e *entry) selectLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select { // want `select without default while e\.mu is locked`
+	case <-e.ready:
+	case v := <-e.work:
+		_ = v
+	}
+}
+
+func (e *entry) drainLocked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for v := range e.work { // want `range over channel while e\.mu is locked`
+		_ = v
+	}
+}
+
+func (e *entry) loadLocked() error {
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	b, err := e.src.Load() // want `Source\.Load while e\.loadMu is locked`
+	if err != nil {
+		return err
+	}
+	e.data = b
+	return nil
+}
+
+func (e *entry) sleepLocked() {
+	e.mu.Lock()
+	time.Sleep(time.Second) // want `time\.Sleep while e\.mu is locked`
+	e.mu.Unlock()
+}
+
+func (e *entry) fetchLocked(url string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	resp, err := http.Get(url) // want `net/http\.Get round trip while e\.mu is locked`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func (e *entry) waitLocked(wg *sync.WaitGroup) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	wg.Wait() // want `WaitGroup\.Wait while e\.mu is locked`
+}

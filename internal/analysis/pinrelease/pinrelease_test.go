@@ -1,0 +1,12 @@
+package pinrelease_test
+
+import (
+	"testing"
+
+	"peregrine/internal/analysis/atest"
+	"peregrine/internal/analysis/pinrelease"
+)
+
+func TestPinrelease(t *testing.T) {
+	atest.Run(t, pinrelease.Analyzer, "pinrelease", "pinrelease_whitelist")
+}

@@ -1,0 +1,109 @@
+package pinrelease
+
+// deferred is the recommended shape: covers every return and panic.
+func deferred(r *Registry) error {
+	g, release, err := r.Acquire("web")
+	if err != nil {
+		return err
+	}
+	defer release()
+	use(g)
+	if cond() {
+		return nil
+	}
+	return workThatCanFail()
+}
+
+// everyPath releases explicitly on each exit; legal, if brittle.
+func everyPath(r *Registry) error {
+	g, release, err := r.Acquire("web")
+	if err != nil {
+		return err
+	}
+	use(g)
+	if cond() {
+		release()
+		return nil
+	}
+	release()
+	return nil
+}
+
+// releasedBeforeFallthrough: a straight-line body that releases before
+// falling off the end.
+func releasedBeforeFallthrough(r *Registry) {
+	g, release, _ := r.Acquire("web")
+	use(g)
+	release()
+}
+
+// escapes hands the release to a struct; its owner is accountable now
+// (the coalescer stores per-batch release funcs exactly like this).
+type batch struct {
+	done func()
+}
+
+func escapes(r *Registry) *batch {
+	_, release, err := r.Acquire("web")
+	if err != nil {
+		return nil
+	}
+	return &batch{done: release}
+}
+
+// forwarded returns the whole tuple; the caller owns the pin.
+func forwarded(r *Registry) (*Graph, func(), error) {
+	return r.Acquire("web")
+}
+
+// closureEscape: captured by a goroutine closure; beyond
+// intraprocedural analysis, deliberately not flagged.
+func closureEscape(r *Registry, ch chan struct{}) {
+	_, release, _ := r.Acquire("web")
+	go func() {
+		<-ch
+		release()
+	}()
+}
+
+// errGuardedOnly: the early return sits on the acquire's own error
+// path, where the release is nil by contract.
+func errGuardedOnly(r *Registry) *Graph {
+	g, release, err := r.Acquire("web")
+	if err != nil {
+		return nil
+	}
+	use(g)
+	release()
+	return g
+}
+
+// loopPaired acquires and releases within each iteration; the pin
+// never outlives the loop body, so falling off the end is fine.
+func loopPaired(r *Registry) {
+	for i := 0; i < 3; i++ {
+		g, release, err := r.Acquire("web")
+		if err != nil {
+			return
+		}
+		use(g)
+		release()
+	}
+}
+
+// loopPairedBranch pairs the straight-line release with an extra
+// release-then-bail branch, the churn-worker shape.
+func loopPairedBranch(r *Registry) {
+	for i := 0; i < 3; i++ {
+		g, release, err := r.Acquire("web")
+		if err != nil {
+			return
+		}
+		if cond() {
+			release()
+			return
+		}
+		use(g)
+		release()
+	}
+}

@@ -1,0 +1,43 @@
+// The allowlist fixture: a package named server with a
+// (*Registry).Get that acquires and immediately releases — the one
+// documented exemption (see internal/server/registry.go Get's doc
+// comment for the contract). Any other function with the same shape
+// is still flagged.
+package server
+
+type Graph struct{}
+
+type Registry struct{}
+
+func (r *Registry) Acquire(name string) (*Graph, func(), error) {
+	return &Graph{}, func() {}, nil
+}
+
+// Get would be flagged in any other function — the early return skips
+// the release — but the allowlist names it: its doc comment owns the
+// unpinned-return contract, so the analyzer defers to it wholesale.
+func (r *Registry) Get(name string) (*Graph, error) {
+	g, release, err := r.Acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, nil
+	}
+	release()
+	return g, nil
+}
+
+// GetSneaky is byte-for-byte Get under another name and stays flagged:
+// the allowlist is an explicit roster, not a shape.
+func (r *Registry) GetSneaky(name string) (*Graph, error) {
+	g, release, err := r.Acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, nil // want `pin from Acquire at .* is not released on this path`
+	}
+	release()
+	return g, nil
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SuppressPrefix is the comment directive that silences one finding:
+//
+//	//pvet:ignore <analyzer> <reason>
+//
+// A trailing directive (after code) covers findings on its own line; a
+// directive alone on a line covers the next line. The reason is
+// mandatory — peregrine-vet treats a reasonless suppression as a
+// finding in itself, so the burn-in gate of "zero un-justified
+// suppressions" is mechanical, not reviewed.
+const SuppressPrefix = "pvet:ignore"
+
+// Suppression is one parsed //pvet:ignore directive.
+type Suppression struct {
+	File     string // file name as known to the FileSet
+	Line     int    // source line the suppression covers
+	Analyzer string // analyzer name it silences
+	Reason   string // justification; empty = malformed
+	Pos      token.Pos
+	Used     bool // set by Filter when it silences a finding
+}
+
+// Suppressions extracts every pvet:ignore directive from files.
+// Malformed directives (missing analyzer or reason) are returned as
+// diagnostics rather than suppressions, so they fail the gate loudly.
+func Suppressions(fset *token.FileSet, files []*ast.File) ([]*Suppression, []Named) {
+	var sups []*Suppression
+	var bad []Named
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, SuppressPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, SuppressPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := fset.Position(c.Pos())
+				if name == "" || reason == "" {
+					bad = append(bad, Named{
+						Analyzer: "pvet",
+						Diagnostic: Diagnostic{
+							Pos:     c.Pos(),
+							Message: "malformed suppression: want //pvet:ignore <analyzer> <reason>",
+						},
+					})
+					continue
+				}
+				line := pos.Line
+				if !code[line] {
+					// Directive alone on its line: covers the next line.
+					line++
+				}
+				sups = append(sups, &Suppression{
+					File:     pos.Filename,
+					Line:     line,
+					Analyzer: name,
+					Reason:   reason,
+					Pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// codeLines reports which lines of f hold non-comment tokens, so a
+// directive can be classified as trailing (code on its line) or
+// standalone. Line comments always follow code on a line, so "any AST
+// node starts on this line" is exact for that question.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// Named is a Diagnostic attributed to an analyzer: what drivers
+// collect, filter, and print.
+type Named struct {
+	Diagnostic
+	Analyzer string
+}
+
+// Filter drops diagnostics covered by a matching suppression and marks
+// those suppressions used. Suppressions that cover nothing after all
+// analyzers ran are dead weight that would hide future findings; the
+// caller turns them into findings via Unused.
+func Filter(fset *token.FileSet, diags []Named, sups []*Suppression) []Named {
+	var out []Named
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		silenced := false
+		for _, s := range sups {
+			if s.Analyzer == d.Analyzer && s.File == pos.Filename && s.Line == pos.Line {
+				s.Used = true
+				silenced = true
+			}
+		}
+		if !silenced {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Unused returns a finding for every suppression Filter never matched.
+// Only meaningful after every enabled analyzer has run: a suppression
+// for a disabled analyzer is reported as unused by design, so partial
+// runs can't accrete silencers nobody can account for.
+func Unused(sups []*Suppression) []Named {
+	var out []Named
+	for _, s := range sups {
+		if !s.Used {
+			out = append(out, Named{
+				Analyzer: "pvet",
+				Diagnostic: Diagnostic{
+					Pos:     s.Pos,
+					Message: "suppression silences no " + s.Analyzer + " finding; delete it",
+				},
+			})
+		}
+	}
+	return out
+}

@@ -246,7 +246,7 @@ func (r *Registry) load(e *graphEntry) (*graph.Graph, error) {
 	if g != nil {
 		return g, nil
 	}
-	g, err := e.src.Load()
+	g, err := e.src.Load() //pvet:ignore lockheld per-entry load serialization is the point; lock order loadMu->mu documented above
 	if err != nil {
 		return nil, err
 	}
@@ -276,10 +276,17 @@ func (r *Registry) load(e *graphEntry) (*graph.Graph, error) {
 	return g, nil
 }
 
-// Get is Acquire without holding a pin: convenient where no memory
-// budget is set (eviction disabled), but under a budget the returned
-// graph may be evicted — and an mmap-backed one unmapped — at any
-// point. Query execution paths must use Acquire.
+// Get is Acquire without holding a pin: it acquires the entry (loading
+// the graph if needed) and releases the pin before returning, so the
+// caller gets a loaded *graph.Graph it does not own. Convenient where
+// no memory budget is set (eviction disabled), but under a budget the
+// returned graph may be evicted — and an mmap-backed one unmapped — at
+// any point. Query execution paths must use Acquire.
+//
+// This acquire-then-immediately-release shape is exactly what the
+// pinrelease analyzer exists to flag; Get is its one named exemption
+// (see internal/analysis/pinrelease's allowlist). Do not copy this
+// pattern elsewhere — call Acquire and defer the release.
 func (r *Registry) Get(name string) (*graph.Graph, error) {
 	g, release, err := r.Acquire(name)
 	if err != nil {

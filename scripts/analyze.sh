@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# One-shot static analysis: everything CI's analysis gates run, in the
+# same order, so a clean local run means a clean CI run.
+#
+#   1. gofmt           — formatting gate (diff listed, not rewritten)
+#   2. go vet          — the stock analyzers
+#   3. peregrine-vet   — the repo's own invariant analyzers
+#                        (labeltrunc, pinrelease, atomicmix, lockheld,
+#                        ctxthread), run through go vet -vettool so
+#                        test files are covered too
+#   4. staticcheck     — if installed; CI pins and installs its own
+#                        copy, so locally this warns and continues
+#
+# Usage: scripts/analyze.sh
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:"
+  echo "$unformatted"
+  fail=1
+fi
+
+echo "== go vet =="
+go vet ./... || fail=1
+
+echo "== peregrine-vet =="
+tool=$(mktemp -t peregrine-vet.XXXXXX)
+trap 'rm -f "$tool"' EXIT
+if go build -o "$tool" ./cmd/peregrine-vet; then
+  go vet -vettool="$tool" ./... || fail=1
+else
+  fail=1
+fi
+
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./... || fail=1
+else
+  echo "staticcheck not installed; skipping (CI runs a pinned copy)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "analysis FAILED" >&2
+  exit 1
+fi
+echo "analysis clean"
