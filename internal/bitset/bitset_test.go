@@ -200,6 +200,216 @@ func TestForEachAscending(t *testing.T) {
 	}
 }
 
+// randSorted returns a strictly ascending slice of n values drawn from
+// [0, span), mixing dense and sparse chunks.
+func randSorted(rng *rand.Rand, n int, span uint32) []uint32 {
+	seen := make(map[uint32]bool, n)
+	for len(seen) < n {
+		var v uint32
+		if rng.Intn(3) == 0 {
+			v = uint32(rng.Intn(8192)) // dense low chunk
+		} else {
+			v = rng.Uint32() % span
+		}
+		seen[v] = true
+	}
+	out := make([]uint32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sortU32(out)
+	return out
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestFromSortedEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := randSorted(rng, 1+rng.Intn(6000), 1<<22)
+		b := FromSorted(vals)
+		ref := New()
+		for _, v := range vals {
+			ref.Add(v)
+		}
+		if b.Cardinality() != ref.Cardinality() {
+			return false
+		}
+		for _, v := range vals {
+			if !b.Contains(v) {
+				return false
+			}
+		}
+		// Spot-check absent values.
+		for i := 0; i < 200; i++ {
+			v := rng.Uint32()
+			if b.Contains(v) != ref.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSortedDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := randSorted(rng, 1+rng.Intn(3000), 1<<20)
+		for _, denseMin := range []int{0, 1, 64, 512, arrayToBitmapThreshold + 2} {
+			b := FromSortedDense(vals, denseMin)
+			if b.Cardinality() != len(vals) {
+				return false
+			}
+			for _, v := range vals {
+				if !b.Contains(v) {
+					return false
+				}
+			}
+			for i := 0; i < 100; i++ {
+				v := rng.Uint32()
+				if b.Contains(v) != FromSorted(vals).Contains(v) {
+					return false
+				}
+			}
+			// Every chunk at or above the threshold must be bitmap-mode;
+			// a denseMin of <=1 forces every chunk dense.
+			for _, c := range b.cts {
+				wantDense := c.card >= denseMin || denseMin <= 1
+				if denseMin > arrayToBitmapThreshold+1 {
+					wantDense = c.card > arrayToBitmapThreshold
+				}
+				if c.isBitmap() != wantDense {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSortedBitmapMode(t *testing.T) {
+	// A chunk past the array threshold must materialize directly as a
+	// bitmap and stay exact.
+	vals := make([]uint32, 0, arrayToBitmapThreshold+512)
+	for i := 0; i < arrayToBitmapThreshold+512; i++ {
+		vals = append(vals, uint32(i*3))
+	}
+	b := FromSorted(vals)
+	if !b.cts[0].isBitmap() {
+		t.Fatal("dense chunk not in bitmap mode")
+	}
+	if b.Cardinality() != len(vals) {
+		t.Fatalf("Cardinality = %d, want %d", b.Cardinality(), len(vals))
+	}
+	for _, v := range vals {
+		if !b.Contains(v) {
+			t.Fatalf("lost %d", v)
+		}
+		if b.Contains(v + 1) {
+			t.Fatalf("phantom %d", v+1)
+		}
+	}
+}
+
+func TestFilterSortedInto(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		span := uint32(1 << 21)
+		hub := randSorted(rng, 1+rng.Intn(8000), span)
+		probe := randSorted(rng, 1+rng.Intn(500), span)
+		inHub := make(map[uint32]bool, len(hub))
+		for _, v := range hub {
+			inHub[v] = true
+		}
+		var want []uint32
+		for _, v := range probe {
+			if inHub[v] {
+				want = append(want, v)
+			}
+		}
+		// Array-mode and dense (hub-adjacency) chunk layouts must agree.
+		for _, b := range []*Bitmap{FromSorted(hub), FromSortedDense(hub, 1)} {
+			got := b.FilterSortedInto(nil, probe)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			// In-place compaction must agree.
+			scratch := append([]uint32(nil), probe...)
+			inPlace := b.FilterSortedInto(scratch[:0], scratch)
+			if len(inPlace) != len(want) {
+				return false
+			}
+			for i := range inPlace {
+				if inPlace[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndSortedInto(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		span := uint32(1 << 20)
+		// Size mix drives all three container pairings: array∩array,
+		// array∩bitmap, bitmap∩bitmap.
+		xs := randSorted(rng, 1+rng.Intn(7000), span)
+		ys := randSorted(rng, 1+rng.Intn(7000), span)
+		inY := make(map[uint32]bool, len(ys))
+		for _, v := range ys {
+			inY[v] = true
+		}
+		var want []uint32
+		for _, v := range xs {
+			if inY[v] {
+				want = append(want, v)
+			}
+		}
+		// Array-vs-array, mixed, and dense-vs-dense chunk pairings.
+		for _, pair := range [][2]*Bitmap{
+			{FromSorted(xs), FromSorted(ys)},
+			{FromSortedDense(xs, 1), FromSorted(ys)},
+			{FromSortedDense(xs, 1), FromSortedDense(ys, 1)},
+		} {
+			got := pair[0].AndSortedInto(nil, pair[1])
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSizeBytesCompression(t *testing.T) {
 	// A sparse set must be far smaller than a dense bitmap over the same
 	// key range — the reason the paper uses Roaring-style bitmaps (§5.5).

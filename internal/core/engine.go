@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"peregrine/internal/bitset"
 	"peregrine/internal/graph"
 	"peregrine/internal/pattern"
 	"peregrine/internal/plan"
@@ -350,14 +351,20 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 	ms.Share.TrieNodes = trie.Nodes
 	ms.Share.ProgramSteps = trie.ProgramSteps
 
-	// Tasks are handed out from the highest vertex id down: ids are
-	// degree-ordered, so high-degree (expensive, heavily-pruned) tasks
-	// run first to avoid stragglers (§5.2). For a sharded graph this
-	// descending scan is also the shard-scan order: shard ranges are
-	// contiguous, so consecutive tasks fall in the same fragment and a
-	// worker re-pins only when it crosses a shard boundary.
+	// Tasks are handed out hubs-first: ids are degree-ordered, so
+	// high-degree (expensive, heavily-pruned) tasks run first to avoid
+	// stragglers (§5.2). With Build's ascending order hubs sit at the
+	// high end and the scan walks down; on a RenumberDescending graph
+	// they sit at the low end and the scan walks up. Either way the scan
+	// is monotone, so for a sharded graph consecutive tasks fall in the
+	// same fragment and a worker re-pins only at shard boundaries.
+	hubsLow := g.DegreeDescending()
 	next := new(atomic.Int64)
-	next.Store(hi)
+	if hubsLow {
+		next.Store(lo - 1)
+	} else {
+		next.Store(hi)
+	}
 
 	var shard0 graph.ShardCounters
 	sharded := false
@@ -390,8 +397,19 @@ func RunPlans(g *graph.Graph, pls []*plan.Plan, cb PlanCallback, opt Options) Mu
 			var pinLo, pinHi int64 = 0, -1
 			var unpin func()
 			for {
-				i := next.Add(-1)
-				if i < lo || stop.Load() {
+				var i int64
+				if hubsLow {
+					i = next.Add(1)
+					if i >= hi {
+						break
+					}
+				} else {
+					i = next.Add(-1)
+					if i < lo {
+						break
+					}
+				}
+				if stop.Load() {
 					break
 				}
 				if sharded && (i < pinLo || i >= pinHi) {
@@ -478,6 +496,12 @@ type multiWorker struct {
 	listArg [][]uint32 // scratch for gathering adjacency list operands
 	touched []bool     // per-plan task-attribution flags, reset per task
 
+	// hubs caches g.HasHubBits(); bitArg gathers the hub bitmaps
+	// paralleling listArg so skewed intersections can route through the
+	// bitset kernels (nil entries for non-hub vertices).
+	hubs   bool
+	bitArg []*bitset.Bitmap
+
 	share ShareStats
 	tb    *profile.ThreadBreakdown
 }
@@ -491,7 +515,11 @@ func newMultiWorker(g *graph.Graph, trie *plan.ShareTrie, pls []*plan.Plan, cb P
 		data:    make([]uint32, trie.MaxCore),
 		listArg: make([][]uint32, 0, trie.MaxCore),
 		touched: make([]bool, len(pls)),
+		hubs:    g.HasHubBits(),
 		tb:      tb,
+	}
+	if mw.hubs {
+		mw.bitArg = make([]*bitset.Bitmap, 0, trie.MaxCore)
 	}
 	if trie.MaxCore > 1 {
 		mw.bufs = make([][]uint32, trie.MaxCore-1)
@@ -555,14 +583,25 @@ func (mw *multiWorker) descend(n *plan.ShareNode) {
 		}
 		mw.tb.Enter(profile.StageCore)
 		lists := mw.listArg[:0]
+		var bits []*bitset.Bitmap
+		if mw.hubs {
+			bits = mw.bitArg[:0]
+		}
 		for _, t := range st.Nbr {
-			lists = append(lists, mw.g.Adj(mw.data[t]))
+			dv := mw.data[t]
+			lists = append(lists, mw.g.Adj(dv))
+			if mw.hubs {
+				bits = append(bits, mw.g.HubBits(dv))
+			}
 		}
 		d := child.Depth - 1
 		if cap(mw.bufs[d]) == 0 {
 			mw.bufs[d] = make([]uint32, 0, 256)
 		}
-		cands := intersectListsInto(mw.bufs[d], lists, lo, hi)
+		// cands is read-only below: with one list it aliases graph
+		// adjacency storage (see the intersectListsInto ownership
+		// contract), so nothing here may write through it.
+		cands := intersectSetsInto(mw.bufs[d], lists, bits, lo, hi)
 		if len(lists) > 1 && cap(cands) > cap(mw.bufs[d]) {
 			// Keep the grown buffer for future tasks. Single-list results
 			// are views into graph storage and must not be adopted.
@@ -635,6 +674,11 @@ type worker struct {
 	ncBufs  [][]uint32 // scratch per completion depth
 	listArg [][]uint32 // scratch for gathering adjacency list operands
 
+	// Hub-bitmap gathering, mirroring multiWorker: bitArg parallels
+	// listArg when the graph carries hub bitsets.
+	hubs   bool
+	bitArg []*bitset.Bitmap
+
 	m     Match // reused callback argument
 	stats Stats
 	tb    *profile.ThreadBreakdown
@@ -652,7 +696,11 @@ func newWorker(g *graph.Graph, pl *plan.Plan, cb Callback, ctx *Ctx, tb *profile
 		assigned: make([]uint32, 0, n),
 		ncBufs:   make([][]uint32, len(pl.NonCore)+1),
 		listArg:  make([][]uint32, 0, n),
+		hubs:     g.HasHubBits(),
 		tb:       tb,
+	}
+	if w.hubs {
+		w.bitArg = make([]*bitset.Bitmap, 0, n)
 	}
 	for i := range w.match {
 		w.match[i] = NoVertex
@@ -722,13 +770,23 @@ func (w *worker) completeFrom(i int) {
 
 	w.tb.Enter(profile.StageNonCore)
 	lists := w.listArg[:0]
+	var bits []*bitset.Bitmap
+	if w.hubs {
+		bits = w.bitArg[:0]
+	}
 	for _, pv := range st.CoreNbrs {
-		lists = append(lists, w.g.Adj(w.match[pv]))
+		dv := w.match[pv]
+		lists = append(lists, w.g.Adj(dv))
+		if w.hubs {
+			bits = append(bits, w.g.HubBits(dv))
+		}
 	}
 	if cap(w.ncBufs[i]) == 0 {
 		w.ncBufs[i] = make([]uint32, 0, 256)
 	}
-	cands := intersectListsInto(w.ncBufs[i], lists, lo, hi)
+	// cands is read-only below: single-list results alias graph
+	// adjacency storage (intersectListsInto ownership contract).
+	cands := intersectSetsInto(w.ncBufs[i], lists, bits, lo, hi)
 	if len(lists) > 1 {
 		w.stats.Intersections++
 		if cap(cands) > cap(w.ncBufs[i]) {
@@ -775,13 +833,23 @@ func (w *worker) checkAntiVertices() bool {
 		// Intersect adjacency lists of the matched neighbors, smallest
 		// first, streaming the exclusion test.
 		lists := w.listArg[:0]
+		var bits []*bitset.Bitmap
+		if w.hubs {
+			bits = w.bitArg[:0]
+		}
 		for _, u := range chk.Nbrs {
-			lists = append(lists, w.g.Adj(w.match[u]))
+			dv := w.match[u]
+			lists = append(lists, w.g.Adj(dv))
+			if w.hubs {
+				bits = append(bits, w.g.HubBits(dv))
+			}
 		}
 		if cap(w.ncBufs[len(w.pl.NonCore)]) == 0 {
 			w.ncBufs[len(w.pl.NonCore)] = make([]uint32, 0, 256)
 		}
-		common := intersectListsInto(w.ncBufs[len(w.pl.NonCore)], lists, noLo, noHi)
+		// common is only iterated, never written: with one list it is a
+		// view of that vertex's adjacency (ownership contract).
+		common := intersectSetsInto(w.ncBufs[len(w.pl.NonCore)], lists, bits, noLo, noHi)
 		if len(lists) > 1 {
 			w.stats.Intersections++
 		}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"peregrine/internal/bitset"
+)
+
+// decodeSortedList turns fuzz bytes into a strictly ascending uint32
+// slice: consecutive 2-byte deltas (+1, so lists are strictly sorted)
+// over a uint32 accumulator. Small deltas keep values clustered the way
+// adjacency lists are.
+func decodeSortedList(data []byte) []uint32 {
+	var out []uint32
+	cur := uint32(0)
+	for len(data) >= 2 {
+		delta := uint32(binary.LittleEndian.Uint16(data)) + 1
+		data = data[2:]
+		// Cap the accumulator so multi-list intersections stay plausible.
+		if cur > 1<<24 {
+			break
+		}
+		cur += delta
+		out = append(out, cur)
+	}
+	return out
+}
+
+// FuzzSetOps differentially fuzzes every intersection kernel against
+// the naive map-based reference: raw kernels, the adaptive dispatchers,
+// clipped bounds, and the bitset paths. Seed corpus lives under
+// testdata/fuzz/FuzzSetOps.
+func FuzzSetOps(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 0, 1, 0}, []byte{2, 0, 2, 0}, uint32(0), uint32(0))
+	f.Add([]byte{1, 0}, []byte{}, uint32(1), uint32(9))
+	f.Add([]byte{5, 0, 5, 0, 5, 0, 5, 0}, []byte{1, 0, 19, 0}, uint32(3), uint32(40))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, loRaw, hiRaw uint32) {
+		a := decodeSortedList(rawA)
+		b := decodeSortedList(rawB)
+		lo, hi := noLo, noHi
+		if loRaw != 0 {
+			lo = int64(loRaw - 1)
+		}
+		if hiRaw != 0 {
+			hi = int64(hiRaw - 1)
+		}
+
+		// clip against the reference.
+		if got, want := clip(a, lo, hi), refIntersect([][]uint32{a}, lo, hi); !equalU32(got, want) {
+			t.Fatalf("clip(%v, %d, %d) = %v, want %v", a, lo, hi, got, want)
+		}
+
+		want := refIntersect([][]uint32{a, b}, noLo, noHi)
+		if got := intersectMerge(nil, a, b); !equalU32(got, want) {
+			t.Fatalf("intersectMerge = %v, want %v", got, want)
+		}
+		small, big := a, b
+		if len(small) > len(big) {
+			small, big = big, small
+		}
+		if got := intersectGallop(nil, small, big); !equalU32(got, want) {
+			t.Fatalf("intersectGallop = %v, want %v", got, want)
+		}
+		if got := intersect2Into(nil, a, b); !equalU32(got, want) {
+			t.Fatalf("intersect2Into = %v, want %v", got, want)
+		}
+		if got := intersectInPlace(append([]uint32(nil), a...), b); !equalU32(got, want) {
+			t.Fatalf("intersectInPlace = %v, want %v", got, want)
+		}
+
+		// Clipped multi-list dispatcher.
+		lists := [][]uint32{a, b}
+		wantClipped := refIntersect(lists, lo, hi)
+		if len(a) > 0 || len(b) > 0 {
+			if got := intersectListsInto(make([]uint32, 0, 4), lists, lo, hi); !equalU32(got, wantClipped) {
+				t.Fatalf("intersectListsInto = %v, want %v", got, wantClipped)
+			}
+			// Bitset paths: bitmaps for both lists, bounded and unbounded,
+			// in both array-mode (FromSorted keeps small chunks as arrays)
+			// and dense bitmap-mode (FromSortedDense(.., 1) — the hub
+			// adjacency form) chunks.
+			for _, bits := range [][]*bitset.Bitmap{
+				{bitset.FromSorted(a), bitset.FromSorted(b)},
+				{bitset.FromSortedDense(a, 1), bitset.FromSortedDense(b, 1)},
+			} {
+				if got := intersectSetsInto(make([]uint32, 0, 4), lists, bits, lo, hi); !equalU32(got, wantClipped) {
+					t.Fatalf("intersectSetsInto(bits) = %v, want %v", got, wantClipped)
+				}
+				if got := intersectSetsInto(make([]uint32, 0, 4), lists, bits, noLo, noHi); !equalU32(got, want) {
+					t.Fatalf("intersectSetsInto(bits, unbounded) = %v, want %v", got, want)
+				}
+			}
+			// Bitset membership against the linear reference, both layouts.
+			for _, bb := range []*bitset.Bitmap{bitset.FromSorted(b), bitset.FromSortedDense(b, 1)} {
+				for _, x := range a {
+					inB := false
+					for _, y := range b {
+						if y == x {
+							inB = true
+							break
+						}
+					}
+					if bb.Contains(x) != inB {
+						t.Fatalf("Contains(%d) = %v, want %v", x, bb.Contains(x), inB)
+					}
+				}
+			}
+		}
+	})
+}

@@ -13,7 +13,8 @@ package graph
 //	[0:8)    magic "PGRCSR\x00\x01"
 //	[8:12)   version  uint32 (currently 1)
 //	[12:16)  flags    uint32 (bit 0: labels section, bit 1: origID
-//	         section, bit 2: shard fragment)
+//	         section, bit 2: shard fragment, bit 3: ids assigned in
+//	         descending-degree order — no extra section, layout only)
 //	[16:20)  numVertices uint32
 //	[20:24)  labelCount  uint32
 //	[24:32)  numEdges    uint64
@@ -59,10 +60,11 @@ const (
 	binaryVersion = 1
 	headerSize    = 64
 
-	flagLabels   uint32 = 1 << 0
-	flagOrigID   uint32 = 1 << 1
-	flagFragment uint32 = 1 << 2
-	flagsKnown          = flagLabels | flagOrigID | flagFragment
+	flagLabels     uint32 = 1 << 0
+	flagOrigID     uint32 = 1 << 1
+	flagFragment   uint32 = 1 << 2
+	flagDescDegree uint32 = 1 << 3
+	flagsKnown            = flagLabels | flagOrigID | flagFragment | flagDescDegree
 )
 
 // ErrBadFormat wraps every malformed-.pgr error so callers can
@@ -91,9 +93,10 @@ type binaryHeader struct {
 	fragTotal uint32 // vertex count of the full sharded graph
 }
 
-func (h binaryHeader) hasLabels() bool { return h.flags&flagLabels != 0 }
-func (h binaryHeader) hasOrigID() bool { return h.flags&flagOrigID != 0 }
-func (h binaryHeader) fragment() bool  { return h.flags&flagFragment != 0 }
+func (h binaryHeader) hasLabels() bool  { return h.flags&flagLabels != 0 }
+func (h binaryHeader) hasOrigID() bool  { return h.flags&flagOrigID != 0 }
+func (h binaryHeader) fragment() bool   { return h.flags&flagFragment != 0 }
+func (h binaryHeader) descDegree() bool { return h.flags&flagDescDegree != 0 }
 
 // fileBytes returns the exact size of a well-formed file with this
 // header — also the resident footprint of the mmap-backed Graph — or
@@ -221,6 +224,9 @@ func headerFor(g *Graph) binaryHeader {
 	if g.origID != nil {
 		h.flags |= flagOrigID
 	}
+	if g.degDesc {
+		h.flags |= flagDescDegree
+	}
 	return h
 }
 
@@ -312,6 +318,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		adj:        make([]uint32, h.adjLen),
 		numEdge:    h.numEdges,
 		labelCount: int(h.labelCount),
+		degDesc:    h.descDegree(),
 	}
 	pos := uint64(headerSize)
 	for i := range g.offsets {
@@ -445,10 +452,11 @@ func StatBinary(path string) (Stat, error) {
 
 func (h binaryHeader) stat() Stat {
 	return Stat{
-		Vertices: h.n,
-		Edges:    h.numEdges,
-		Labels:   int(h.labelCount),
-		Labeled:  h.hasLabels(),
+		Vertices:   h.n,
+		Edges:      h.numEdges,
+		Labels:     int(h.labelCount),
+		Labeled:    h.hasLabels(),
+		DegreeDesc: h.descDegree(),
 	}
 }
 

@@ -9,11 +9,23 @@
 // engine's symmetry-breaking partial orders compare data-vertex ids
 // directly, and the paper's §5.2 load-balancing scheme ("order vertices
 // by their degree") becomes a simple integer comparison.
+//
+// RenumberDescending flips the assignment to non-increasing degree
+// order (hubs first, recorded in the .pgr header and shard manifest),
+// which packs the high-degree CSR rows into a dense prefix of the id
+// space: symmetry-breaking upper bounds against early-matched hub ids
+// clip candidate lists to that dense prefix, and the hub-bitset
+// adjacency (BuildHubBitsets) covers a contiguous id range. Either
+// direction is a total order by degree, so counts and match sets are
+// identical — only layout and traversal order change. DegreeDescending
+// reports which direction a graph uses.
 package graph
 
 import (
 	"fmt"
 	"sort"
+
+	"peregrine/internal/bitset"
 )
 
 // NoLabel marks an unlabeled vertex.
@@ -31,6 +43,18 @@ type Graph struct {
 	numEdge uint64   // number of undirected edges
 
 	labelCount int // number of distinct labels (0 when unlabeled)
+
+	// degDesc records that ids are assigned in non-increasing degree
+	// order (RenumberDescending) rather than Build's non-decreasing
+	// default. Persisted in the .pgr header and shard manifest.
+	degDesc bool
+
+	// hubBits[v] is the compressed-bitmap form of v's adjacency for
+	// vertices at or above the BuildHubBitsets degree threshold, nil
+	// elsewhere; the whole slice is nil when hub bitsets are disabled.
+	// hubBytes is their total heap footprint for Bytes accounting.
+	hubBits  []*bitset.Bitmap
+	hubBytes uint64
 
 	// release unmaps backing storage for mmap-backed graphs (see
 	// LoadBinary); nil for heap-backed graphs. Consumed by Close.
@@ -131,8 +155,81 @@ func (g *Graph) MaxDegree() uint32 {
 	if n == 0 {
 		return 0
 	}
-	// Ids are degree-ordered, so the last vertex has maximum degree.
+	// Ids are degree-ordered, so the maximum sits at whichever end the
+	// ordering direction puts the hubs.
+	if g.DegreeDescending() {
+		return g.Degree(0)
+	}
 	return g.Degree(n - 1)
+}
+
+// DegreeDescending reports whether vertex ids are assigned in
+// non-increasing degree order (hubs first — see RenumberDescending).
+// Build's default is non-decreasing (false).
+func (g *Graph) DegreeDescending() bool {
+	if g.sh != nil {
+		return g.sh.stat.DegreeDesc
+	}
+	return g.degDesc
+}
+
+// hubDenseChunkMin is the per-chunk cardinality at which hub bitmaps
+// use dense (bitmap-mode) chunks instead of sorted 16-bit arrays. Hub
+// bitmaps are probed by the engine's inner intersection loops far more
+// often than they are built, so they trade space for O(1) membership
+// well below the Roaring space break-even of 4096: a 512-entry chunk
+// costs 8 KiB as a bitmap vs 1 KiB as an array, an 8x overcharge paid
+// only on hub vertices.
+const hubDenseChunkMin = 512
+
+// BuildHubBitsets materializes compressed-bitmap adjacency for every
+// vertex of degree >= minDeg and returns how many vertices got one.
+// The engine's intersection kernels use these bitmaps for hub-vs-leaf
+// skewed intersections (membership filtering) and hub-vs-hub ones
+// (chunked bitmap AND); the sorted CSR lists remain the source of
+// truth and are unaffected. minDeg 0 disables (and drops any existing
+// bitsets). Not concurrency-safe with graph use — call it at load
+// time, like Close. Sharded graphs are unsupported (fragments evict
+// under a byte budget; pinning bitmaps would defeat it) and return 0.
+func (g *Graph) BuildHubBitsets(minDeg uint32) int {
+	if g.sh != nil {
+		return 0
+	}
+	g.hubBits, g.hubBytes = nil, 0
+	if minDeg == 0 {
+		return 0
+	}
+	n := g.NumVertices()
+	var hubs []*bitset.Bitmap
+	count := 0
+	var bytes uint64
+	for v := uint32(0); v < n; v++ {
+		if g.Degree(v) < minDeg {
+			continue
+		}
+		if hubs == nil {
+			hubs = make([]*bitset.Bitmap, n)
+		}
+		b := bitset.FromSortedDense(g.Adj(v), hubDenseChunkMin)
+		hubs[v] = b
+		bytes += uint64(b.SizeBytes())
+		count++
+	}
+	g.hubBits, g.hubBytes = hubs, bytes
+	return count
+}
+
+// HasHubBits reports whether BuildHubBitsets materialized any hub
+// bitmaps on this graph.
+func (g *Graph) HasHubBits() bool { return g.hubBits != nil }
+
+// HubBits returns the compressed-bitmap adjacency of v, or nil when v
+// is below the hub threshold or hub bitsets are disabled.
+func (g *Graph) HubBits(v uint32) *bitset.Bitmap {
+	if g.hubBits == nil {
+		return nil
+	}
+	return g.hubBits[v]
 }
 
 // AvgDegree returns the average vertex degree.
@@ -156,7 +253,8 @@ func (g *Graph) Bytes() uint64 {
 	return 8*uint64(len(g.offsets)) +
 		4*uint64(len(g.adj)) +
 		4*uint64(len(g.labels)) +
-		4*uint64(len(g.origID))
+		4*uint64(len(g.origID)) +
+		g.hubBytes
 }
 
 // Close releases the graph's backing storage. For mmap-backed graphs
@@ -181,7 +279,80 @@ func (g *Graph) Close() error {
 	g.labels = nil
 	g.origID = nil
 	g.numEdge = 0
+	g.hubBits = nil
+	g.hubBytes = 0
 	return rel()
+}
+
+// RenumberDescending returns a copy of g with vertex ids reassigned in
+// non-increasing degree order: hubs get the lowest ids, ties broken by
+// the current id so the permutation is deterministic. Labels move with
+// their vertices and OrigID composes through the permutation, so the
+// result names exactly the same underlying graph — counts and
+// OrigID-mapped match streams are identical to g's (the engine's
+// symmetry breaking only needs *a* total order). The copy is
+// heap-backed regardless of g's backing and carries no hub bitsets;
+// rebuild them with BuildHubBitsets if wanted. Sharded graphs cannot be
+// renumbered in place — renumber before sharding (gengraph -renumber).
+func RenumberDescending(g *Graph) (*Graph, error) {
+	if g.sh != nil {
+		return nil, fmt.Errorf("graph: cannot renumber a sharded graph; renumber before sharding")
+	}
+	n := g.NumVertices()
+	order := make([]uint32, n) // new id -> old id
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		da, dc := g.Degree(a), g.Degree(c)
+		if da != dc {
+			return da > dc
+		}
+		return a < c
+	})
+	rename := make([]uint32, n) // old id -> new id
+	for newID, o := range order {
+		rename[o] = uint32(newID)
+	}
+
+	out := &Graph{
+		numEdge:    g.numEdge,
+		labelCount: g.labelCount,
+		degDesc:    true,
+	}
+	offsets := make([]uint64, n+1)
+	var w uint64
+	for v := uint32(0); v < n; v++ {
+		offsets[v] = w
+		w += uint64(g.Degree(order[v]))
+	}
+	offsets[n] = w
+	adj := make([]uint32, w)
+	for v := uint32(0); v < n; v++ {
+		dst := adj[offsets[v]:offsets[v+1]]
+		for i, o := range g.Adj(order[v]) {
+			dst[i] = rename[o]
+		}
+		sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	}
+	out.offsets = offsets
+	out.adj = adj
+
+	if g.labels != nil {
+		labels := make([]uint32, n)
+		for v := uint32(0); v < n; v++ {
+			labels[v] = g.labels[order[v]]
+		}
+		out.labels = labels
+	}
+	// Compose OrigID: new id -> old id -> original input id.
+	origID := make([]uint32, n)
+	for v := uint32(0); v < n; v++ {
+		origID[v] = g.OrigID(order[v])
+	}
+	out.origID = origID
+	return out, nil
 }
 
 // String summarizes the graph for diagnostics.

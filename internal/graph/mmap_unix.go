@@ -70,6 +70,7 @@ func graphFromMapping(data []byte) (*Graph, error) {
 	g := &Graph{
 		numEdge:    h.numEdges,
 		labelCount: int(h.labelCount),
+		degDesc:    h.descDegree(),
 	}
 	pos := uint64(headerSize)
 	g.offsets = unsafe.Slice((*uint64)(unsafe.Pointer(&data[pos])), uint64(h.n)+1)

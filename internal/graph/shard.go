@@ -8,9 +8,14 @@ package graph
 // The manifest is a small line-oriented text file:
 //
 //	PGRSHARD 1
-//	graph <vertices> <edges> <labelCount> <labeled 0|1>
+//	graph <vertices> <edges> <labelCount> <labeled 0|1> [desc]
 //	shard <lo> <hi> <file>
 //	...
+//
+// The optional trailing "desc" token records that vertex ids were
+// assigned hubs-first (RenumberDescending); it is written only when
+// set, so manifests for default-ordered graphs are byte-identical to
+// the previous format.
 //
 // Shard lines must be contiguous and ascending, covering [0, vertices)
 // exactly; <file> is a path relative to the manifest's directory (no
@@ -148,7 +153,11 @@ func WriteManifest(w io.Writer, m *Manifest) error {
 		labeled = 1
 	}
 	fmt.Fprintf(bw, "%s %d\n", manifestMagic, manifestVersion)
-	fmt.Fprintf(bw, "graph %d %d %d %d\n", m.Stat.Vertices, m.Stat.Edges, m.Stat.Labels, labeled)
+	desc := ""
+	if m.Stat.DegreeDesc {
+		desc = " desc"
+	}
+	fmt.Fprintf(bw, "graph %d %d %d %d%s\n", m.Stat.Vertices, m.Stat.Edges, m.Stat.Labels, labeled, desc)
 	for _, sh := range m.Shards {
 		fmt.Fprintf(bw, "shard %d %d %s\n", sh.Lo, sh.Hi, sh.File)
 	}
@@ -186,8 +195,14 @@ func ReadManifest(r io.Reader) (*Manifest, error) {
 			if sawGraph {
 				return nil, badFormat("manifest: line %d: duplicate graph line", lineNo)
 			}
-			if len(fields) != 5 {
-				return nil, badFormat("manifest: line %d: want 'graph V E labels labeled'", lineNo)
+			if len(fields) != 5 && len(fields) != 6 {
+				return nil, badFormat("manifest: line %d: want 'graph V E labels labeled [desc]'", lineNo)
+			}
+			if len(fields) == 6 {
+				if fields[5] != "desc" {
+					return nil, badFormat("manifest: line %d: unknown graph attribute %q", lineNo, fields[5])
+				}
+				m.Stat.DegreeDesc = true
 			}
 			v, err := parseU32(fields[1])
 			if err != nil {
@@ -277,8 +292,9 @@ func SniffManifest(path string) (bool, error) {
 // Fragment is one loaded shard: the CSR rows of its owned vertex range
 // [Lo, Lo+Owned()), with neighbor ids global to the full graph.
 type Fragment struct {
-	Lo    uint32 // first owned vertex id
-	Total uint32 // vertex count of the full graph
+	Lo      uint32 // first owned vertex id
+	Total   uint32 // vertex count of the full graph
+	DegDesc bool   // ids of the full graph are hubs-first (RenumberDescending)
 
 	offsets    []uint64 // len Owned()+1, local to the fragment
 	adj        []uint32 // global neighbor ids
@@ -381,6 +397,9 @@ func WriteFragment(w io.Writer, f *Fragment) error {
 	if f.origID != nil {
 		h.flags |= flagOrigID
 	}
+	if f.DegDesc {
+		h.flags |= flagDescDegree
+	}
 	return writeSections(w, h, f.offsets, f.adj, f.labels, f.origID)
 }
 
@@ -409,6 +428,7 @@ func ReadFragment(r io.Reader) (*Fragment, error) {
 	f := &Fragment{
 		Lo:         h.fragLo,
 		Total:      h.fragTotal,
+		DegDesc:    h.descDegree(),
 		offsets:    make([]uint64, uint64(h.n)+1),
 		adj:        make([]uint32, h.adjLen),
 		labelCount: h.labelCount,
@@ -505,6 +525,7 @@ func fragmentOf(g *Graph, lo, hi uint32) *Fragment {
 	f := &Fragment{
 		Lo:         lo,
 		Total:      g.NumVertices(),
+		DegDesc:    g.degDesc,
 		offsets:    off,
 		adj:        g.adj[base:g.offsets[hi]],
 		labelCount: uint32(g.labelCount),
@@ -694,6 +715,9 @@ func (s *shardSet) checkFragment(si int, f *Fragment) error {
 	}
 	if (f.labels != nil) != s.stat.Labeled {
 		return badFormat("fragment label section does not match manifest")
+	}
+	if f.DegDesc != s.stat.DegreeDesc {
+		return badFormat("fragment degree-order flag does not match manifest")
 	}
 	return nil
 }

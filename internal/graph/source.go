@@ -23,6 +23,9 @@ type Stat struct {
 	Edges    uint64
 	Labels   int  // distinct labels; 0 when unlabeled
 	Labeled  bool // whether the graph carries vertex labels
+	// DegreeDesc reports ids assigned hubs-first (RenumberDescending);
+	// false is Build's degree-ascending default.
+	DegreeDesc bool
 }
 
 // ErrNoStat is returned by Source.Stat when the format cannot report
@@ -72,10 +75,11 @@ func Shared(src Source) bool {
 // StatOf derives a Stat from a loaded graph.
 func StatOf(g *Graph) Stat {
 	return Stat{
-		Vertices: g.NumVertices(),
-		Edges:    g.NumEdges(),
-		Labels:   g.NumLabels(),
-		Labeled:  g.Labeled(),
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		Labels:     g.NumLabels(),
+		Labeled:    g.Labeled(),
+		DegreeDesc: g.DegreeDescending(),
 	}
 }
 

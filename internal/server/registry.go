@@ -96,6 +96,7 @@ type Registry struct {
 	maxBytes uint64 // 0 = unlimited
 	resident uint64 // total bytes of loaded graphs
 	clock    uint64 // LRU tick, advanced per Acquire
+	hubDeg   uint32 // BuildHubBitsets threshold applied at load (0 = off)
 }
 
 // NewRegistry returns an empty registry with no memory budget.
@@ -120,6 +121,25 @@ func (r *Registry) SetMaxBytes(n uint64) {
 	r.evictLocked()
 }
 
+// SetHubBitsetDeg sets the degree threshold at which loaded graphs get
+// compressed-bitmap hub adjacency (graph.BuildHubBitsets), accelerating
+// the engine's skewed intersections at the cost of extra resident bytes
+// (counted against the memory budget). 0 (the default) disables.
+// Applies to graphs loaded after the call; already-resident graphs are
+// not rebuilt. Sharded graphs never get hub bitsets (fragments evict).
+func (r *Registry) SetHubBitsetDeg(minDeg uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hubDeg = minDeg
+}
+
+// hubBitsetDeg reads the threshold under the registry lock.
+func (r *Registry) hubBitsetDeg() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hubDeg
+}
+
 // AddSource registers src under name, replacing any previous entry.
 // A replaced entry's resident graph leaves the accounting immediately
 // and — when the registry owned it (non-shared source) — its storage
@@ -136,6 +156,9 @@ func (r *Registry) AddSource(name string, src graph.Source) {
 	e := &graphEntry{name: name, src: src, shared: graph.Shared(src)}
 	if e.shared {
 		if g, err := src.Load(); err == nil {
+			if deg := r.hubBitsetDeg(); deg > 0 {
+				g.BuildHubBitsets(deg)
+			}
 			st := graph.StatOf(g)
 			e.g = g
 			e.bytes = g.Bytes()
@@ -249,6 +272,12 @@ func (r *Registry) load(e *graphEntry) (*graph.Graph, error) {
 	g, err := e.src.Load() //pvet:ignore lockheld per-entry load serialization is the point; lock order loadMu->mu documented above
 	if err != nil {
 		return nil, err
+	}
+	// Hub bitsets are built here, under loadMu but outside r.mu, so the
+	// CPU work doesn't stall the registry; Bytes() below includes them.
+	// (No-op for sharded graphs — see BuildHubBitsets.)
+	if deg := r.hubBitsetDeg(); deg > 0 {
+		g.BuildHubBitsets(deg)
 	}
 	st := graph.StatOf(g)
 	r.mu.Lock()

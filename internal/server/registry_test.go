@@ -412,3 +412,39 @@ func TestRegistryStatBeforeLoad(t *testing.T) {
 		t.Fatalf("loaded Bytes = %d, want %d", got, bytes)
 	}
 }
+
+func TestRegistryHubBitsets(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	src, plainBytes := pgrSource(t, dir, 31, 1000)
+	r.AddSource("g", src)
+	r.SetHubBitsetDeg(1)
+
+	g, release, err := r.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasHubBits() {
+		t.Fatal("loaded graph has no hub bitsets despite SetHubBitsetDeg")
+	}
+	if g.Bytes() <= plainBytes {
+		t.Fatal("Bytes does not include the hub bitsets")
+	}
+	// The registry's accounting must charge the bitsets too.
+	if r.ResidentBytes() != g.Bytes() {
+		t.Fatalf("resident %d != graph bytes %d", r.ResidentBytes(), g.Bytes())
+	}
+	release()
+
+	// Disabled threshold: the next load is bitset-free.
+	r.SetHubBitsetDeg(0)
+	r.AddSource("h", src)
+	h, release2, err := r.Acquire("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release2()
+	if h.HasHubBits() {
+		t.Fatal("hub bitsets built with a zero threshold")
+	}
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Set-intersection kernel microbenchmark smoke: runs the BenchmarkSetOps*
+# suite (internal/core/setops_bench_test.go), extracts the custom
+# intersections/sec metric, and checks every benchmark against the
+# conservative floors committed in BENCH_kernels.json. CI runs this as a
+# regression gate; the floors are set roughly 8x below a developer
+# machine's numbers so shared runners pass with wide margin while a
+# kernel regression (e.g. reintroducing sort.Search in a hot loop, or
+# breaking the dense hub-bitmap path) still trips it.
+#
+# Usage:
+#   scripts/kernel_bench.sh           # run + check against floors
+#   scripts/kernel_bench.sh -update   # run + rewrite BENCH_kernels.json
+#                                     # (floors = measured/8)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+mode=check
+if [ "${1:-}" = "-update" ]; then
+  mode=update
+fi
+
+out=$(mktemp -t kernel_bench.XXXXXX)
+trap 'rm -f "$out"' EXIT
+
+echo "== BenchmarkSetOps* =="
+if ! go test ./internal/core/ -run '^$' -bench 'BenchmarkSetOps' \
+    -benchtime=300ms -count=1 | tee "$out"; then
+  echo "benchmark run failed" >&2
+  exit 1
+fi
+
+# "BenchmarkSetOpsHubPath/skew-64x16k/tuned-8  N  135 ns/op  7387325 ints/s"
+# -> "BenchmarkSetOpsHubPath/skew-64x16k/tuned 7387325"
+measured=$(awk '$NF == "ints/s" { name=$1; sub(/-[0-9]+$/, "", name); print name, $(NF-1) }' "$out")
+if [ -z "$measured" ]; then
+  echo "no ints/s metrics found in benchmark output" >&2
+  exit 1
+fi
+
+if [ "$mode" = "update" ]; then
+  {
+    echo '{'
+    echo '  "bench": "setops-kernels",'
+    echo "  \"timestamp\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo '  "metric": "intersections/sec (one intersection call per op)",'
+    echo '  "floors": {'
+    echo "$measured" | awk '{ printf "%s    \"%s\": %d", sep, $1, int($2/8); sep=",\n" } END { print "" }'
+    echo '  },'
+    echo '  "measured": {'
+    echo "$measured" | awk '{ printf "%s    \"%s\": %d", sep, $1, int($2); sep=",\n" } END { print "" }'
+    echo '  }'
+    echo '}'
+  } > BENCH_kernels.json
+  echo "wrote BENCH_kernels.json"
+  exit 0
+fi
+
+if [ ! -f BENCH_kernels.json ]; then
+  echo "BENCH_kernels.json missing; run scripts/kernel_bench.sh -update" >&2
+  exit 1
+fi
+
+# Pull "name": floor pairs out of the committed floors object.
+floors=$(awk '/"floors": \{/ { in_f=1; next } in_f && /\}/ { exit }
+  in_f { name=$1; gsub(/[",:]/, "", name); val=$2; gsub(/,/, "", val); print name, val }' \
+  BENCH_kernels.json)
+
+fail=0
+while read -r name floor; do
+  got=$(echo "$measured" | awk -v n="$name" '$1 == n { print int($2) }')
+  if [ -z "$got" ]; then
+    echo "MISSING  $name (floor $floor): benchmark did not report"
+    fail=1
+  elif [ "$got" -lt "$floor" ]; then
+    echo "FAIL     $name: $got ints/s < floor $floor"
+    fail=1
+  else
+    echo "ok       $name: $got ints/s (floor $floor)"
+  fi
+done <<EOF
+$floors
+EOF
+
+if [ "$fail" -ne 0 ]; then
+  echo "kernel benchmark regression detected" >&2
+  exit 1
+fi
+echo "all kernel benchmarks above committed floors"

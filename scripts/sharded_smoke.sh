@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Sharded + distributed serving smoke (CI), in two stages over the same
-# 4-shard patents-lite manifest written by gengraph:
+# Sharded + distributed serving smoke (CI) over the 4-shard
+# patents-lite manifest written by gengraph:
+#
+#   Stage 0 — renumbering round-trip. gengraph -renumber rewrites the
+#   flat .pgr in degree-descending layout; one node serves both and the
+#   fixed pattern counts must match exactly (layout invariance).
 #
 #   Stage 1 — out-of-core + failover. Two peregrine-serve nodes run
 #   under a byte budget smaller than the fragment set, so full scans
@@ -40,10 +44,11 @@ wait_healthy() { # url
   return 1
 }
 
-# count <base-url> — run the fixed two-pattern count, print total count
+# count <base-url> [graph] — run the fixed two-pattern count, print total count
 count() {
+  local graph=${2:-patents}
   curl -sf -X POST "$1/v1/query" \
-    -d "{\"graph\":\"patents\",\"kind\":\"count\",\"patterns\":$PATTERNS,\"wait\":true}" \
+    -d "{\"graph\":\"$graph\",\"kind\":\"count\",\"patterns\":$PATTERNS,\"wait\":true}" \
     | grep -o '"count":[0-9]*' | head -1 | cut -d: -f2
 }
 
@@ -77,6 +82,25 @@ go build -o "$WORK/bin/" ./cmd/gengraph ./cmd/peregrine-serve ./cmd/peregrine-co
 
 say "writing 4-shard patents-lite manifest"
 "$WORK/bin/gengraph" -dataset patents-lite -shards 4 -o "$WORK/patents.manifest"
+
+# ---- Stage 0: gengraph -renumber round-trip -----------------------------
+# Degree-descending renumbering is a pure relabeling: serving the same
+# graph in flat and renumbered layouts must produce identical counts.
+say "stage 0: gengraph -renumber round-trip (counts layout-invariant)"
+"$WORK/bin/gengraph" -dataset patents-lite -o "$WORK/patents-flat.pgr"
+"$WORK/bin/gengraph" -in "$WORK/patents-flat.pgr" -renumber -o "$WORK/patents-desc.pgr"
+"$WORK/bin/peregrine-serve" -addr "127.0.0.1:$NODE_A" \
+  -graph "flat=$WORK/patents-flat.pgr" -graph "desc=$WORK/patents-desc.pgr" &
+PIDS+=($!)
+wait_healthy "http://127.0.0.1:$NODE_A"
+FLAT=$(count "http://127.0.0.1:$NODE_A" flat)
+DESC=$(count "http://127.0.0.1:$NODE_A" desc)
+say "flat count=$FLAT renumbered count=$DESC"
+if [ -z "$FLAT" ] || [ "$FLAT" != "$DESC" ]; then
+  say "FAIL: renumbered counts diverge from flat layout"
+  exit 1
+fi
+stop_all
 
 # ---- Stage 1: out-of-core + failover ------------------------------------
 # ~350K budget vs ~420K of fragments: at most three of the four can be
